@@ -1,0 +1,54 @@
+//! Microbenchmarks of the reliability engine: column parity and the
+//! MAC-guided trial-correction loop (the paper notes correction latency
+//! is high but rare; this quantifies it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itesp_core::mac::{mac_block, MacKey};
+use itesp_reliability::{column_parity, inject, verify_and_correct, CodeWord, Fault};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn setup() -> (CodeWord, u64, MacKey) {
+    let key = MacKey::derive(9, 0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut data = [0u8; 64];
+    rng.fill(&mut data[..]);
+    let word = CodeWord::new(data, mac_block(&key, &data, 11, 0x80));
+    let parity = column_parity(&word);
+    (word, parity, key)
+}
+
+fn bench_parity(c: &mut Criterion) {
+    let (word, _, _) = setup();
+    c.bench_function("column_parity", |b| {
+        b.iter(|| std::hint::black_box(column_parity(&word)));
+    });
+}
+
+fn bench_verify_clean(c: &mut Criterion) {
+    let (word, parity, key) = setup();
+    c.bench_function("verify_clean", |b| {
+        b.iter(|| std::hint::black_box(verify_and_correct(&word, parity, &key, 11, 0x80)));
+    });
+}
+
+fn bench_correct_chipfail(c: &mut Criterion) {
+    let (word, parity, key) = setup();
+    let mut bad = word;
+    inject(
+        &mut bad,
+        Fault::Chip { chip: 4 },
+        &mut StdRng::seed_from_u64(6),
+    );
+    c.bench_function("correct_chip_failure_9_trials", |b| {
+        b.iter(|| std::hint::black_box(verify_and_correct(&bad, parity, &key, 11, 0x80)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parity,
+    bench_verify_clean,
+    bench_correct_chipfail
+);
+criterion_main!(benches);

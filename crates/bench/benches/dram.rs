@@ -1,0 +1,42 @@
+//! Microbenchmarks of the DRAM substrate: address decode, scheduler
+//! ticks, and sustained random-read service.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itesp_dram::{AddressDecoder, AddressMapping, DramConfig, DramGeometry, MemorySystem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_decode(c: &mut Criterion) {
+    let dec = AddressDecoder::new(DramGeometry::table_iii(), AddressMapping::RowBufferHit4);
+    c.bench_function("address_decode", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            std::hint::black_box(dec.decode(a))
+        });
+    });
+}
+
+fn bench_service(c: &mut Criterion) {
+    c.bench_function("dram_service_64_random_reads", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut mem = MemorySystem::new(DramConfig::table_iii());
+            for _ in 0..32 {
+                let addr: u64 = rng.gen_range(0..1u64 << 32) & !63;
+                mem.enqueue_read(addr, 0).expect("space");
+            }
+            let mut now = 0;
+            let mut done = 0;
+            while done < 32 {
+                mem.tick(now);
+                done += mem.take_completions().len();
+                now += 1;
+            }
+            std::hint::black_box(now)
+        });
+    });
+}
+
+criterion_group!(benches, bench_decode, bench_service);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Microbenchmarks of the MAC engine: SipHash-2-4 block MACs and tree
+//! node hashes — the per-access cryptographic work of the memory
+//! encryption engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use itesp_core::mac::{hash_node, mac_block, siphash24, MacKey};
+
+fn bench_mac(c: &mut Criterion) {
+    let key = MacKey::derive(42, 0);
+    let data = [0xA5u8; 64];
+
+    let mut g = c.benchmark_group("mac");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("mac_block_64B", |b| {
+        let mut ctr = 0u64;
+        b.iter(|| {
+            ctr += 1;
+            std::hint::black_box(mac_block(&key, &data, ctr, 0x4000))
+        });
+    });
+    g.bench_function("hash_node_64B", |b| {
+        let node = [0x5Au8; 64];
+        b.iter(|| std::hint::black_box(hash_node(&key, &node, 77)));
+    });
+    g.bench_function("siphash24_16B", |b| {
+        let msg = [1u8; 16];
+        b.iter(|| std::hint::black_box(siphash24(&key, &msg)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mac);
+criterion_main!(benches);

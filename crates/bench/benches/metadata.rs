@@ -1,0 +1,58 @@
+//! Microbenchmarks of the metadata machinery: cache accesses, tree
+//! walks, and the full per-access engine filter for the main schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itesp_core::{EngineConfig, MetaCache, Scheme, SecurityEngine, TreeGeometry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metadata_cache");
+    g.bench_function("access_hit", |b| {
+        let mut cache = MetaCache::new(16 << 10, 8);
+        cache.access(0x1000, false);
+        b.iter(|| std::hint::black_box(cache.access(0x1000, false)));
+    });
+    g.bench_function("access_miss_stream", |b| {
+        let mut cache = MetaCache::new(16 << 10, 8);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            std::hint::black_box(cache.access(addr, true))
+        });
+    });
+    g.finish();
+}
+
+fn bench_tree_walk(c: &mut Criterion) {
+    let geo = TreeGeometry::vault((32u64 << 30) / 64);
+    c.bench_function("tree_walk_vault_32GB", |b| {
+        let mut block = 0u64;
+        b.iter(|| {
+            block = (block + 4097) % geo.data_blocks();
+            std::hint::black_box(geo.walk(block).count())
+        });
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_on_access");
+    for scheme in [Scheme::Vault, Scheme::Synergy, Scheme::Itesp] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let mut engine = SecurityEngine::new(EngineConfig::paper_default(scheme));
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| {
+                    let block: u64 = rng.gen_range(0..1 << 20);
+                    std::hint::black_box(engine.on_access(0, block * 64, block, block % 3 == 0))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_tree_walk, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerate every table and figure in sequence.
+//!
+//! Run: `cargo run --release -p itesp-bench --bin run_all [ops]`
+//! Outputs land on stdout and under `results/`.
+
+use std::process::Command;
+
+const TARGETS: &[&str] = &[
+    "tab01", "tab02", "fig02", "fig03", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12",
+    "fig13", "fig15",
+];
+
+fn main() {
+    let ops = std::env::args().nth(1);
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe directory");
+    let mut failures = Vec::new();
+    for t in TARGETS {
+        println!("\n================ {t} ================");
+        let mut cmd = Command::new(dir.join(t));
+        if let Some(ops) = &ops {
+            cmd.arg(ops);
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{t} exited with {s}");
+                failures.push(*t);
+            }
+            Err(e) => {
+                eprintln!("{t} failed to launch: {e} (build with --release first)");
+                failures.push(*t);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll {} regenerators completed.", TARGETS.len());
+    } else {
+        eprintln!("\nFailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Table I: metadata memory-capacity overheads per organization.
+//!
+//! Run: `cargo run --release -p itesp-bench --bin tab01`
+
+use itesp_bench::{print_table, save_json};
+use itesp_core::table_i;
+
+fn main() {
+    let rows = table_i();
+    println!("Table I: metadata memory capacity overheads\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.organization.clone(),
+                format!("{:.1}%", r.tree * 100.0),
+                format!("{:.1}%", r.mac_parity * 100.0),
+                format!("{:.1}%", r.total() * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &["organization", "integrity tree", "MAC/parity", "total"],
+        &table,
+    );
+    println!("\n(paper: VAULT 14.1%, Synergy128 x8 13.3%, x16 25.8%, ITESP64 1.6%, ITESP128 0.8%)");
+    save_json("tab01", &rows);
+}

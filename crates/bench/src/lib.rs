@@ -1,0 +1,137 @@
+//! # itesp-bench — figure/table regenerators and microbenchmarks
+//!
+//! One binary per table and figure of the paper (see DESIGN.md's
+//! experiment index): `fig02`, `fig03`, `fig05`, `fig08`, `fig09`,
+//! `fig10`, `fig11`, `fig12`, `fig13`, `fig15`, `tab01`, `tab02`, plus
+//! Criterion microbenchmarks of the core data structures in `benches/`.
+//!
+//! Each regenerator prints the paper-style rows and writes a JSON dump
+//! under `results/`. Trace length defaults keep a full figure under a
+//! few minutes; set `ITESP_OPS` to raise it (the paper uses 5 M
+//! operations per program — relative results are stable far below that).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use itesp_core::{CacheStats, EngineConfig, EngineStats, SecurityEngine};
+use itesp_trace::{MultiProgram, PAGE_BYTES};
+
+/// Memory operations per program for quick regeneration runs.
+pub const DEFAULT_OPS: usize = 20_000;
+
+/// Trace length per program: `ITESP_OPS` env var, first CLI arg, or
+/// [`DEFAULT_OPS`].
+pub fn ops_from_env() -> usize {
+    if let Some(v) = std::env::args().nth(1).and_then(|s| s.parse().ok()) {
+        return v;
+    }
+    std::env::var("ITESP_OPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_OPS)
+}
+
+/// Shared RNG seed so every figure sees the same traces.
+pub const TRACE_SEED: u64 = 0xC0FFEE;
+
+/// Replay a workload through just the security engine (no DRAM timing):
+/// fast path for the metadata-only figures (2 and 3).
+pub fn engine_replay(mp: &MultiProgram, cfg: EngineConfig) -> EngineReplay {
+    let copies = mp.copies();
+    let mut engine = SecurityEngine::new(cfg);
+    let mut leaf_maps: Vec<HashMap<u64, u64>> = vec![HashMap::new(); copies];
+    let longest = mp.traces.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..longest {
+        for (prog, leaf_map) in leaf_maps.iter_mut().enumerate() {
+            let Some(r) = mp.traces[prog].get(i) else {
+                continue;
+            };
+            let page = r.paddr / PAGE_BYTES;
+            let next = leaf_map.len() as u64;
+            let leaf = *leaf_map.entry(page).or_insert(next);
+            let eb = leaf * (PAGE_BYTES / 64) + (r.paddr % PAGE_BYTES) / 64;
+            engine.on_access(prog, r.paddr, eb, r.is_write());
+        }
+    }
+    EngineReplay {
+        stats: engine.stats().clone(),
+        metadata_cache: engine.metadata_cache_stats(),
+        parity_cache: engine.parity_cache_stats(),
+    }
+}
+
+/// Results of an engine-only replay.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineReplay {
+    pub stats: EngineStats,
+    pub metadata_cache: CacheStats,
+    pub parity_cache: CacheStats,
+}
+
+/// Print a fixed-width table: a header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{:<w$}", c, w = widths[i]));
+            } else {
+                s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+            }
+        }
+        println!("{s}");
+    };
+    line(headers.iter().map(|s| (*s).to_owned()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Write a JSON result dump under `results/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if fs::write(&path, s).is_ok() {
+                eprintln!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("[json dump failed: {e}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itesp_core::Scheme;
+    use itesp_trace::benchmark;
+
+    #[test]
+    fn engine_replay_counts_every_access() {
+        let mp = MultiProgram::homogeneous(benchmark("mcf").unwrap(), 2, 500, 1);
+        let r = engine_replay(&mp, EngineConfig::paper_default(Scheme::Vault));
+        assert_eq!(r.stats.data_accesses(), 1000);
+        assert!(r.stats.meta_accesses() > 0);
+    }
+
+    #[test]
+    fn default_ops_is_positive() {
+        assert!(DEFAULT_OPS > 0);
+    }
+}

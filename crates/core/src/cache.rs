@@ -1,0 +1,365 @@
+//! Set-associative metadata caches.
+//!
+//! The paper's systems keep security metadata (counters, tree nodes,
+//! MACs, parities) in small dedicated on-chip caches. [`MetaCache`] is a
+//! write-back, write-allocate, LRU, set-associative cache of 64-byte
+//! metadata blocks. It also tracks the Figure 2 statistic: how many hits
+//! each block receives while resident ("metadata block utilization").
+//!
+//! [`PartitionedCache`] wraps per-enclave instances for the isolated
+//! designs: the enclave-id selects a partition, so no two enclaves can
+//! interact through cache state (the leakage path of Section III-B).
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOutcome {
+    pub hit: bool,
+    /// Block address of a dirty victim that must be written back, if any.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+    hits_since_fill: u64,
+}
+
+/// Aggregate statistics for one cache (or one partition).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub accesses: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub writebacks: u64,
+    /// Sum over evicted blocks of hits received while resident.
+    pub evicted_block_hits: u64,
+    /// Number of blocks evicted (denominator for utilization).
+    pub evicted_blocks: u64,
+}
+
+impl CacheStats {
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Figure 2's metric: mean hits per metadata block while cached.
+    pub fn hits_per_block(&self) -> f64 {
+        if self.evicted_blocks == 0 {
+            0.0
+        } else {
+            self.evicted_block_hits as f64 / self.evicted_blocks as f64
+        }
+    }
+
+    pub fn merge(&mut self, o: &CacheStats) {
+        self.accesses += o.accesses;
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.writebacks += o.writebacks;
+        self.evicted_block_hits += o.evicted_block_hits;
+        self.evicted_blocks += o.evicted_blocks;
+    }
+}
+
+/// A write-back, LRU, set-associative cache of 64-byte blocks.
+#[derive(Debug, Clone)]
+pub struct MetaCache {
+    lines: Vec<Line>,
+    sets: usize,
+    ways: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl MetaCache {
+    /// Build a cache of `capacity_bytes` with `ways` associativity.
+    ///
+    /// # Panics
+    /// Panics if the capacity is not a positive multiple of
+    /// `ways * 64` or the resulting set count is not a power of two.
+    pub fn new(capacity_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        let blocks = capacity_bytes / 64;
+        assert!(
+            blocks >= ways && blocks.is_multiple_of(ways),
+            "capacity {capacity_bytes} incompatible with {ways} ways"
+        );
+        let sets = blocks / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        MetaCache {
+            lines: vec![Line::default(); blocks],
+            sets,
+            ways,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn capacity_bytes(&self) -> usize {
+        self.lines.len() * 64
+    }
+
+    /// Access the metadata block containing byte address `addr`;
+    /// `make_dirty` marks the line modified (a metadata update).
+    /// Misses allocate; a dirty victim's address is returned for
+    /// writeback.
+    pub fn access(&mut self, addr: u64, make_dirty: bool) -> CacheOutcome {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let block = addr >> 6;
+        let set = (block as usize) & (self.sets - 1);
+        let base = set * self.ways;
+        let set_lines = &mut self.lines[base..base + self.ways];
+
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == block) {
+            line.last_use = self.tick;
+            line.hits_since_fill += 1;
+            line.dirty |= make_dirty;
+            self.stats.hits += 1;
+            return CacheOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        self.stats.misses += 1;
+        // Victim: an invalid way, else LRU.
+        let victim = set_lines.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set_lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("nonempty set")
+        });
+        let v = &mut set_lines[victim];
+        let mut writeback = None;
+        if v.valid {
+            self.stats.evicted_blocks += 1;
+            self.stats.evicted_block_hits += v.hits_since_fill;
+            if v.dirty {
+                self.stats.writebacks += 1;
+                writeback = Some(v.tag << 6);
+            }
+        }
+        *v = Line {
+            tag: block,
+            valid: true,
+            dirty: make_dirty,
+            last_use: self.tick,
+            hits_since_fill: 0,
+        };
+        CacheOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Probe without modifying state (used by the covert-channel timer).
+    pub fn probe(&self, addr: u64) -> bool {
+        let block = addr >> 6;
+        let set = (block as usize) & (self.sets - 1);
+        self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == block)
+    }
+
+    /// Invalidate everything, keeping statistics.
+    pub fn flush(&mut self) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        for l in &mut self.lines {
+            if l.valid {
+                self.stats.evicted_blocks += 1;
+                self.stats.evicted_block_hits += l.hits_since_fill;
+                if l.dirty {
+                    self.stats.writebacks += 1;
+                    dirty.push(l.tag << 6);
+                }
+            }
+            *l = Line::default();
+        }
+        dirty
+    }
+
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+/// Per-enclave partitioned metadata cache (Section III-A).
+#[derive(Debug, Clone)]
+pub struct PartitionedCache {
+    partitions: Vec<MetaCache>,
+}
+
+impl PartitionedCache {
+    /// `per_enclave_bytes` of cache for each of `enclaves` enclaves.
+    pub fn new(enclaves: usize, per_enclave_bytes: usize, ways: usize) -> Self {
+        PartitionedCache {
+            partitions: (0..enclaves)
+                .map(|_| MetaCache::new(per_enclave_bytes, ways))
+                .collect(),
+        }
+    }
+
+    /// Access within enclave `e`'s private partition.
+    pub fn access(&mut self, e: usize, addr: u64, make_dirty: bool) -> CacheOutcome {
+        self.partitions[e].access(addr, make_dirty)
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True when there are no partitions.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    pub fn partition(&self, e: usize) -> &MetaCache {
+        &self.partitions[e]
+    }
+
+    pub fn partition_mut(&mut self, e: usize) -> &mut MetaCache {
+        &mut self.partitions[e]
+    }
+
+    /// Statistics merged across partitions.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for p in &self.partitions {
+            s.merge(p.stats());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = MetaCache::new(4096, 4);
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        // Same 64B block, different byte.
+        assert!(c.access(0x13F, false).hit);
+        assert!(!c.access(0x140, false).hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2 ways, 1 set: 128-byte cache.
+        let mut c = MetaCache::new(128, 2);
+        c.access(0, false);
+        c.access(64, false);
+        c.access(0, false); // touch 0: now 64 is LRU
+        c.access(128, false); // evicts 64
+        assert!(c.access(0, false).hit);
+        assert!(!c.access(64, false).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_returns_writeback_address() {
+        let mut c = MetaCache::new(128, 2);
+        c.access(0, true);
+        c.access(64, false);
+        let out = c.access(128, false); // evicts dirty block 0
+        assert_eq!(out.writeback, Some(0));
+        let out = c.access(192, false); // evicts clean block 64
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn dirty_bit_set_on_hit_too() {
+        let mut c = MetaCache::new(128, 2);
+        c.access(0, false);
+        c.access(0, true); // dirtied by a later update
+        c.access(64, false);
+        let out = c.access(128, false);
+        assert_eq!(out.writeback, Some(0));
+    }
+
+    #[test]
+    fn utilization_counts_hits_per_resident_block() {
+        let mut c = MetaCache::new(128, 2);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false); // 2 hits since fill
+        c.access(64, false); // 0 hits
+        c.access(128, false); // evicts block 0 (LRU)
+        c.access(192, false); // evicts block 64
+        let s = c.stats();
+        assert_eq!(s.evicted_blocks, 2);
+        assert_eq!(s.evicted_block_hits, 2);
+        assert_eq!(s.hits_per_block(), 1.0);
+    }
+
+    #[test]
+    fn probe_does_not_change_state() {
+        let mut c = MetaCache::new(4096, 4);
+        c.access(0x100, false);
+        assert!(c.probe(0x100));
+        assert!(!c.probe(0x2000));
+        let before = *c.stats();
+        c.probe(0x100);
+        assert_eq!(before, *c.stats());
+    }
+
+    #[test]
+    fn flush_returns_dirty_blocks() {
+        let mut c = MetaCache::new(4096, 4);
+        c.access(0, true);
+        c.access(64, false);
+        c.access(128, true);
+        let mut dirty = c.flush();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![0, 128]);
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn partitions_are_isolated() {
+        let mut p = PartitionedCache::new(2, 128, 2);
+        p.access(0, 0, false);
+        // Same address in the other partition still misses: no sharing.
+        assert!(!p.access(1, 0, false).hit);
+        assert!(p.access(0, 0, false).hit);
+    }
+
+    #[test]
+    fn merged_partition_stats() {
+        let mut p = PartitionedCache::new(2, 128, 2);
+        p.access(0, 0, false);
+        p.access(1, 0, false);
+        p.access(1, 0, false);
+        let s = p.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn invalid_capacity_rejected() {
+        let _ = MetaCache::new(100, 4);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = MetaCache::new(4096, 4);
+        c.access(0, false);
+        c.access(0, false);
+        assert_eq!(c.stats().hit_rate(), 0.5);
+    }
+}

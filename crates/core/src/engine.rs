@@ -1,0 +1,967 @@
+//! The per-access metadata traffic engine.
+//!
+//! For every LLC-filtered data access, [`SecurityEngine::on_access`]
+//! decides which *additional* memory transactions the secure-memory
+//! design performs — MAC fetches, counter-tree walks, parity updates,
+//! metadata writebacks — and returns them for the DRAM model to execute.
+//! This is where every scheme of the paper differs:
+//!
+//! * **VAULT**: separate MAC structure (cached) + counter-tree walk.
+//! * **Synergy**: MAC rides the ECC pins (free); per-block parity is
+//!   written to memory on every data write.
+//! * **Isolation**: tree indexed by per-enclave leaf-ids over a private
+//!   tree, caches partitioned per enclave.
+//! * **Shared parity**: parity updates become read-modify-writes.
+//! * **Parity cache**: a write-coalescing buffer (never filled by reads).
+//! * **ITESP**: parity lives inside the tree leaf — one structure, one
+//!   fetch, no write masking.
+//!
+//! Verification latency is assumed hidden by speculation (PoisonIvy
+//! [23]); the slowdown comes from the extra *bandwidth*, exactly the
+//! paper's premise (Section I).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheStats, PartitionedCache};
+use crate::counters::OverflowTracker;
+use crate::scheme::{ParityMode, Scheme, SchemeSpec, TreeKind};
+use crate::tree::TreeGeometry;
+
+/// Which metadata structure a transaction belongs to (Figure 9's
+/// breakdown categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetaKind {
+    Mac,
+    Tree,
+    Parity,
+}
+
+impl MetaKind {
+    pub const ALL: [MetaKind; 3] = [MetaKind::Mac, MetaKind::Tree, MetaKind::Parity];
+
+    pub fn index(self) -> usize {
+        match self {
+            MetaKind::Mac => 0,
+            MetaKind::Tree => 1,
+            MetaKind::Parity => 2,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            MetaKind::Mac => "MAC",
+            MetaKind::Tree => "Tree",
+            MetaKind::Parity => "Parity",
+        }
+    }
+}
+
+/// One extra memory transaction required by the security metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetaAccess {
+    pub addr: u64,
+    pub is_write: bool,
+    pub kind: MetaKind,
+}
+
+/// Figure 3's breakdown of which metadata structures missed on-chip for
+/// one data access. Our case lettering (the paper does not spell out its
+/// legend): A = everything hit; B = MAC only; C = leaf counter only;
+/// D = MAC + leaf; E = leaf + parent; F = MAC + leaf + parent;
+/// G = leaf + two-or-more ancestors; H = MAC + leaf + two-or-more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissCase {
+    A,
+    B,
+    C,
+    D,
+    E,
+    F,
+    G,
+    H,
+}
+
+impl MissCase {
+    pub const ALL: [MissCase; 8] = [
+        MissCase::A,
+        MissCase::B,
+        MissCase::C,
+        MissCase::D,
+        MissCase::E,
+        MissCase::F,
+        MissCase::G,
+        MissCase::H,
+    ];
+
+    /// Classify from whether the MAC missed and how many tree levels
+    /// were fetched from memory.
+    pub fn classify(mac_missed: bool, tree_misses: u32) -> Self {
+        match (mac_missed, tree_misses) {
+            (false, 0) => MissCase::A,
+            (true, 0) => MissCase::B,
+            (false, 1) => MissCase::C,
+            (true, 1) => MissCase::D,
+            (false, 2) => MissCase::E,
+            (true, 2) => MissCase::F,
+            (false, _) => MissCase::G,
+            (true, _) => MissCase::H,
+        }
+    }
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            MissCase::A => "A:none",
+            MissCase::B => "B:mac",
+            MissCase::C => "C:leaf",
+            MissCase::D => "D:mac+leaf",
+            MissCase::E => "E:leaf+par",
+            MissCase::F => "F:mac+leaf+par",
+            MissCase::G => "G:leaf+2anc",
+            MissCase::H => "H:mac+leaf+2anc",
+        }
+    }
+}
+
+/// The result of filtering one data access through the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Extra memory transactions, in issue order.
+    pub mem: Vec<MetaAccess>,
+    /// CPU stall cycles charged to the issuing core (counter overflow
+    /// re-encryption).
+    pub stall_cycles: u64,
+    /// Figure 3 classification of this access.
+    pub case: MissCase,
+}
+
+/// Engine configuration, independent of the DRAM model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    pub scheme: Scheme,
+    /// Co-scheduled enclaves (programs).
+    pub enclaves: usize,
+    /// Physical span the *shared* tree covers, bytes.
+    pub data_capacity: u64,
+    /// Span each *isolated* tree covers, bytes.
+    pub enclave_capacity: u64,
+    /// Total on-chip metadata cache budget, bytes (all structures, all
+    /// enclaves).
+    pub metadata_cache_bytes: usize,
+    /// Cache associativity.
+    pub cache_ways: usize,
+    /// Model local-counter overflow stalls (Figure 11 runs only).
+    pub model_overflow: bool,
+    /// Consecutive blocks mapped to the same rank before the rank bits
+    /// rotate (from the DRAM address-mapping policy; decides which
+    /// blocks may share a parity).
+    pub rank_stride_blocks: u64,
+}
+
+impl EngineConfig {
+    /// The paper's 4-core defaults: 64 KB total metadata cache, 32 GB
+    /// shared span, 8 GB per enclave.
+    pub fn paper_default(scheme: Scheme) -> Self {
+        EngineConfig {
+            scheme,
+            enclaves: 4,
+            data_capacity: 32 << 30,
+            enclave_capacity: 8 << 30,
+            metadata_cache_bytes: 64 << 10,
+            cache_ways: 8,
+            model_overflow: false,
+            rank_stride_blocks: 4,
+        }
+    }
+}
+
+/// Traffic and classification statistics for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    pub data_reads: u64,
+    pub data_writes: u64,
+    /// Metadata reads by [`MetaKind::index`].
+    pub meta_reads: [u64; 3],
+    /// Metadata writes by [`MetaKind::index`].
+    pub meta_writes: [u64; 3],
+    /// Figure 3 case counts by [`MissCase::index`].
+    pub case_counts: [u64; 8],
+    pub overflows: u64,
+    pub overflow_stall_cycles: u64,
+}
+
+impl EngineStats {
+    /// Total data accesses.
+    pub fn data_accesses(&self) -> u64 {
+        self.data_reads + self.data_writes
+    }
+
+    /// Total metadata transactions.
+    pub fn meta_accesses(&self) -> u64 {
+        self.meta_reads.iter().sum::<u64>() + self.meta_writes.iter().sum::<u64>()
+    }
+
+    /// Figure 9's y-value: extra metadata transactions per data access.
+    pub fn meta_per_access(&self) -> f64 {
+        self.meta_accesses() as f64 / self.data_accesses().max(1) as f64
+    }
+
+    /// Metadata transactions of one kind per data access.
+    pub fn kind_per_access(&self, kind: MetaKind) -> f64 {
+        let i = kind.index();
+        (self.meta_reads[i] + self.meta_writes[i]) as f64 / self.data_accesses().max(1) as f64
+    }
+}
+
+/// Per-enclave region bases for metadata placement in physical memory.
+#[derive(Debug, Clone)]
+struct Regions {
+    tree_bases: Vec<u64>,
+    mac_bases: Vec<u64>,
+    parity_bases: Vec<u64>,
+}
+
+/// The security metadata engine. See module docs.
+#[derive(Debug)]
+pub struct SecurityEngine {
+    cfg: EngineConfig,
+    spec: SchemeSpec,
+    geo: Option<TreeGeometry>,
+    tree_cache: Option<PartitionedCache>,
+    mac_cache: Option<PartitionedCache>,
+    parity_cache: Option<PartitionedCache>,
+    overflow: Option<OverflowTracker>,
+    regions: Regions,
+    stats: EngineStats,
+}
+
+/// Cap on dirty-writeback cascade processing per access (the lazy
+/// hash-propagation chain is almost always 1-2 deep; the cap guards the
+/// pathological case).
+const MAX_WRITEBACK_CHAIN: usize = 32;
+
+impl SecurityEngine {
+    pub fn new(cfg: EngineConfig) -> Self {
+        let spec = cfg.scheme.spec();
+        let span = if spec.isolated {
+            cfg.enclave_capacity
+        } else {
+            cfg.data_capacity
+        };
+        let geo = spec.tree.geometry(span / 64);
+
+        let parts = if spec.isolated { cfg.enclaves } else { 1 };
+        let per_part_budget = cfg.metadata_cache_bytes / parts;
+
+        // Split the budget across the structures the scheme caches.
+        let needs_mac_cache = spec.tree != TreeKind::None && !spec.mac_inline;
+        let needs_parity_cache = spec.parity_cached;
+        let split = 1 + usize::from(needs_mac_cache) + usize::from(needs_parity_cache);
+        let slice = per_part_budget / split;
+
+        let mk = |bytes: usize| PartitionedCache::new(parts, bytes, cfg.cache_ways);
+        let tree_cache = (spec.tree != TreeKind::None).then(|| mk(slice));
+        let mac_cache = needs_mac_cache.then(|| mk(slice));
+        let parity_cache = needs_parity_cache.then(|| mk(slice));
+
+        let overflow = (cfg.model_overflow && geo.is_some()).then(|| {
+            let g = geo.as_ref().expect("checked");
+            OverflowTracker::new(g.local_counter_bits(), g.leaf_arity())
+        });
+
+        // Metadata regions live above the data span; each enclave (or
+        // the single shared instance) gets its own stripe.
+        let tree_bytes = geo.as_ref().map_or(0, TreeGeometry::storage_bytes);
+        let mac_bytes = span / 8;
+        let parity_bytes = span / 8;
+        let stripe = tree_bytes + mac_bytes + parity_bytes;
+        let mut tree_bases = Vec::with_capacity(parts);
+        let mut mac_bases = Vec::with_capacity(parts);
+        let mut parity_bases = Vec::with_capacity(parts);
+        for p in 0..parts as u64 {
+            let base = cfg.data_capacity + p * stripe;
+            tree_bases.push(base);
+            mac_bases.push(base + tree_bytes);
+            parity_bases.push(base + tree_bytes + mac_bytes);
+        }
+
+        SecurityEngine {
+            cfg,
+            spec,
+            geo,
+            tree_cache,
+            mac_cache,
+            parity_cache,
+            overflow,
+            regions: Regions {
+                tree_bases,
+                mac_bases,
+                parity_bases,
+            },
+            stats: EngineStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    pub fn spec(&self) -> &SchemeSpec {
+        &self.spec
+    }
+
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Tree/counter metadata-cache statistics (merged across partitions).
+    pub fn tree_cache_stats(&self) -> CacheStats {
+        self.tree_cache
+            .as_ref()
+            .map(PartitionedCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// MAC cache statistics (VAULT-style schemes only).
+    pub fn mac_cache_stats(&self) -> CacheStats {
+        self.mac_cache
+            .as_ref()
+            .map(PartitionedCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Parity cache statistics (parity-cached schemes only).
+    pub fn parity_cache_stats(&self) -> CacheStats {
+        self.parity_cache
+            .as_ref()
+            .map(PartitionedCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Combined metadata-cache statistics (tree + MAC), the quantity
+    /// Figure 2 plots.
+    pub fn metadata_cache_stats(&self) -> CacheStats {
+        let mut s = self.tree_cache_stats();
+        s.merge(&self.mac_cache_stats());
+        s
+    }
+
+    /// Which cache partition and block index a data access uses.
+    fn locate(&self, enclave: usize, paddr: u64, enclave_block: u64) -> (usize, u64) {
+        if self.spec.isolated {
+            (enclave, enclave_block)
+        } else {
+            (0, paddr / 64)
+        }
+    }
+
+    /// Filter one LLC-filtered data access. `enclave_block` is the dense
+    /// per-enclave block index (leaf-id page * 64 + block offset) used by
+    /// isolated trees; shared trees index by `paddr` instead.
+    pub fn on_access(
+        &mut self,
+        enclave: usize,
+        paddr: u64,
+        enclave_block: u64,
+        is_write: bool,
+    ) -> AccessOutcome {
+        if is_write {
+            self.stats.data_writes += 1;
+        } else {
+            self.stats.data_reads += 1;
+        }
+
+        let mut mem = Vec::new();
+        let (part, block) = self.locate(enclave, paddr, enclave_block);
+
+        // 1. Counter-tree walk (verification and, on writes, counter
+        //    increment).
+        let tree_misses = if self.geo.is_some() {
+            self.walk_tree(part, block, is_write, &mut mem)
+        } else {
+            0
+        };
+
+        // 2. Separate MAC structure (VAULT-style only; Synergy's MAC
+        //    rides the ECC pins for free).
+        let mac_missed = if self.geo.is_some() && !self.spec.mac_inline {
+            self.mac_access(part, block, is_write, &mut mem)
+        } else {
+            false
+        };
+
+        // 3. Correction-parity update on writes.
+        if is_write {
+            self.parity_update(part, block, &mut mem);
+        }
+
+        // 4. Local-counter overflow stalls (Figure 11 runs).
+        let mut stall = 0;
+        if is_write {
+            if let (Some(of), Some(geo)) = (self.overflow.as_mut(), self.geo.as_ref()) {
+                let node_key = ((part as u64) << 48) | geo.leaf_of(block).index;
+                let block_key = ((part as u64) << 48) | block;
+                let penalty = of.on_write(node_key, block_key);
+                if penalty > 0 {
+                    self.stats.overflows += 1;
+                    self.stats.overflow_stall_cycles += penalty;
+                    stall = penalty;
+                }
+            }
+        }
+
+        let case = MissCase::classify(mac_missed, tree_misses);
+        self.stats.case_counts[case.index()] += 1;
+
+        for m in &mem {
+            if m.is_write {
+                self.stats.meta_writes[m.kind.index()] += 1;
+            } else {
+                self.stats.meta_reads[m.kind.index()] += 1;
+            }
+        }
+
+        AccessOutcome {
+            mem,
+            stall_cycles: stall,
+            case,
+        }
+    }
+
+    /// Walk leaf-to-top until an on-chip hit; returns levels fetched
+    /// from memory. Dirty evictions propagate hashes lazily: the victim
+    /// is written back and its parent is dirtied.
+    fn walk_tree(
+        &mut self,
+        part: usize,
+        block: u64,
+        dirty_leaf: bool,
+        mem: &mut Vec<MetaAccess>,
+    ) -> u32 {
+        let geo = self.geo.as_ref().expect("walk_tree requires a tree");
+        let cache = self.tree_cache.as_mut().expect("tree implies tree cache");
+        let base = self.regions.tree_bases[part];
+
+        let mut misses = 0;
+        let mut pending = Vec::new();
+        for node in geo.walk(block) {
+            let addr = geo.node_addr(base, node);
+            let out = cache.access(part, addr, dirty_leaf && node.level == 0);
+            if let Some(victim) = out.writeback {
+                pending.push(victim);
+            }
+            if out.hit {
+                break;
+            }
+            mem.push(MetaAccess {
+                addr,
+                is_write: false,
+                kind: MetaKind::Tree,
+            });
+            misses += 1;
+        }
+
+        // Lazy hash propagation for evicted dirty nodes (and plain
+        // writes for evicted fallback-parity lines).
+        self.process_writebacks(part, pending, mem);
+        misses
+    }
+
+    /// Handle one unified-cache eviction (and any cascade): tree nodes
+    /// are written back and dirty their parent; fallback-parity lines
+    /// (addresses in the parity region) are simply written back — the
+    /// write half of their read-modify-write.
+    fn unified_writeback(&mut self, part: usize, victim: u64, mem: &mut Vec<MetaAccess>) {
+        self.process_writebacks(part, vec![victim], mem);
+    }
+
+    fn process_writebacks(
+        &mut self,
+        part: usize,
+        mut pending: Vec<u64>,
+        mem: &mut Vec<MetaAccess>,
+    ) {
+        let geo = self.geo.as_ref().expect("writebacks imply a tree");
+        let cache = self.tree_cache.as_mut().expect("tree cache");
+        let tree_base = self.regions.tree_bases[part];
+        let parity_base = self.regions.parity_bases[part];
+        let mut processed = 0;
+        while let Some(victim) = pending.pop() {
+            if victim >= parity_base {
+                // Fallback shared-parity line: plain write, no parent.
+                mem.push(MetaAccess {
+                    addr: victim,
+                    is_write: true,
+                    kind: MetaKind::Parity,
+                });
+                continue;
+            }
+            mem.push(MetaAccess {
+                addr: victim,
+                is_write: true,
+                kind: MetaKind::Tree,
+            });
+            processed += 1;
+            if processed > MAX_WRITEBACK_CHAIN {
+                continue; // account the write, skip further propagation
+            }
+            let node = geo.node_at(tree_base, victim);
+            if let Some(parent) = geo.parent(node) {
+                let paddr = geo.node_addr(tree_base, parent);
+                let out = cache.access(part, paddr, true);
+                if let Some(v2) = out.writeback {
+                    pending.push(v2);
+                }
+                if !out.hit {
+                    mem.push(MetaAccess {
+                        addr: paddr,
+                        is_write: false,
+                        kind: MetaKind::Tree,
+                    });
+                }
+            }
+        }
+    }
+
+    /// VAULT-style separate MAC structure: one 64 B line holds MACs for
+    /// 8 consecutive blocks. Returns whether the MAC missed on-chip.
+    fn mac_access(
+        &mut self,
+        part: usize,
+        block: u64,
+        is_write: bool,
+        mem: &mut Vec<MetaAccess>,
+    ) -> bool {
+        let cache = self.mac_cache.as_mut().expect("separate MAC needs a cache");
+        let addr = self.regions.mac_bases[part] + (block / 8) * 64;
+        let out = cache.access(part, addr, is_write);
+        if let Some(victim) = out.writeback {
+            mem.push(MetaAccess {
+                addr: victim,
+                is_write: true,
+                kind: MetaKind::Mac,
+            });
+        }
+        if !out.hit {
+            mem.push(MetaAccess {
+                addr,
+                is_write: false,
+                kind: MetaKind::Mac,
+            });
+        }
+        !out.hit
+    }
+
+    /// Parity-group id for `block` when one parity covers `share` blocks
+    /// in different ranks: with rank stride S, a group is the blocks
+    /// `{w + j + k*S | k in 0..share}` within each window `w` of
+    /// `S * share` blocks.
+    fn parity_group(&self, block: u64, share: u64) -> u64 {
+        let s = self.cfg.rank_stride_blocks.max(1);
+        let window = s.saturating_mul(share);
+        (block / window) * s + (block % s)
+    }
+
+    /// Can the embedded-parity design actually embed under the current
+    /// address mapping? A leaf's parity group must span `share`
+    /// different ranks; with rank stride S, a group covers `S * share`
+    /// consecutive blocks, which must fit within one leaf's span
+    /// (Section III-E: "consecutive cache lines must share a global
+    /// counter and parity [and] must also be mapped to different
+    /// ranks"). Column mapping (S = 1024) violates this, so parity
+    /// falls back to a separate shared-parity structure that contends
+    /// in the unified metadata cache — Figure 15's penalty.
+    fn embedding_viable(&self) -> bool {
+        let geo = self.geo.as_ref().expect("embedded parity implies tree");
+        let s = self.cfg.rank_stride_blocks.max(1);
+        s.saturating_mul(geo.parity_share()) <= geo.leaf_arity()
+    }
+
+    fn parity_update(&mut self, part: usize, block: u64, mem: &mut Vec<MetaAccess>) {
+        let base = self.regions.parity_bases[part];
+        match self.spec.parity {
+            ParityMode::None => {}
+            ParityMode::PerBlock => {
+                // One 64-bit parity word per block, 8 words per line.
+                let line = base + (block / 8) * 64;
+                if let Some(cache) = self.parity_cache.as_mut() {
+                    // Coalescing write buffer: allocate without fetching;
+                    // evicted entries become one masked write.
+                    let out = cache.access(part, line, true);
+                    if let Some(victim) = out.writeback {
+                        mem.push(MetaAccess {
+                            addr: victim,
+                            is_write: true,
+                            kind: MetaKind::Parity,
+                        });
+                    }
+                } else {
+                    // Baseline Synergy: every data write pays a masked
+                    // parity write (a full-occupancy transaction).
+                    mem.push(MetaAccess {
+                        addr: line,
+                        is_write: true,
+                        kind: MetaKind::Parity,
+                    });
+                }
+            }
+            ParityMode::Shared(share) => {
+                let group = self.parity_group(block, share);
+                let line = base + (group / 8) * 64;
+                if let Some(cache) = self.parity_cache.as_mut() {
+                    // The cache holds parity *diffs*; eviction must RMW.
+                    let out = cache.access(part, line, true);
+                    if let Some(victim) = out.writeback {
+                        mem.push(MetaAccess {
+                            addr: victim,
+                            is_write: false,
+                            kind: MetaKind::Parity,
+                        });
+                        mem.push(MetaAccess {
+                            addr: victim,
+                            is_write: true,
+                            kind: MetaKind::Parity,
+                        });
+                    }
+                } else {
+                    // Uncached shared parity: RMW on every data write.
+                    mem.push(MetaAccess {
+                        addr: line,
+                        is_write: false,
+                        kind: MetaKind::Parity,
+                    });
+                    mem.push(MetaAccess {
+                        addr: line,
+                        is_write: true,
+                        kind: MetaKind::Parity,
+                    });
+                }
+            }
+            ParityMode::Embedded => {
+                if self.embedding_viable() {
+                    // Parity lives in the tree leaf the walk already
+                    // fetched and dirtied: no extra traffic.
+                } else {
+                    // The mapping cannot co-locate a parity group in
+                    // one leaf (Column): parity falls back to an
+                    // external shared structure that shares the unified
+                    // metadata cache — fetched on miss (the read half
+                    // of the RMW), written back on eviction. Groups are
+                    // laid out rank-major, so "consecutive cache lines
+                    // are mapped to different shared parity blocks"
+                    // (Section V-C) and writes do not coalesce.
+                    let geo = self.geo.as_ref().expect("embedded parity implies tree");
+                    let share = geo.parity_share();
+                    let s = self.cfg.rank_stride_blocks.max(1);
+                    let window = s.saturating_mul(share).min(geo.data_blocks()).max(1);
+                    let windows = (geo.data_blocks() / window).max(1);
+                    let group = (block % s) * windows + (block / window);
+                    let line = self.regions.parity_bases[part] + (group / 8) * 64;
+                    let cache = self.tree_cache.as_mut().expect("tree cache");
+                    let out = cache.access(part, line, true);
+                    if !out.hit {
+                        mem.push(MetaAccess {
+                            addr: line,
+                            is_write: false,
+                            kind: MetaKind::Parity,
+                        });
+                    }
+                    if let Some(victim) = out.writeback {
+                        self.unified_writeback(part, victim, mem);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush every cache, emitting the writeback traffic (end-of-run
+    /// bookkeeping so dirty metadata is not silently dropped).
+    pub fn drain(&mut self) -> Vec<MetaAccess> {
+        let mut mem = Vec::new();
+        let mut flush = |c: &mut Option<PartitionedCache>, kind: MetaKind, rmw: bool| {
+            if let Some(pc) = c {
+                for part in 0..pc.len() {
+                    for addr in pc.partition_mut(part).flush() {
+                        if rmw {
+                            mem.push(MetaAccess {
+                                addr,
+                                is_write: false,
+                                kind,
+                            });
+                        }
+                        mem.push(MetaAccess {
+                            addr,
+                            is_write: true,
+                            kind,
+                        });
+                    }
+                }
+            }
+        };
+        flush(&mut self.tree_cache, MetaKind::Tree, false);
+        flush(&mut self.mac_cache, MetaKind::Mac, false);
+        let shared = matches!(self.spec.parity, ParityMode::Shared(_));
+        flush(&mut self.parity_cache, MetaKind::Parity, shared);
+        for m in &mem {
+            if m.is_write {
+                self.stats.meta_writes[m.kind.index()] += 1;
+            } else {
+                self.stats.meta_reads[m.kind.index()] += 1;
+            }
+        }
+        mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(scheme: Scheme) -> SecurityEngine {
+        SecurityEngine::new(EngineConfig::paper_default(scheme))
+    }
+
+    #[test]
+    fn unsecure_generates_no_metadata() {
+        let mut e = engine(Scheme::Unsecure);
+        let out = e.on_access(0, 0x1000, 0x40, false);
+        assert!(out.mem.is_empty());
+        let out = e.on_access(0, 0x1000, 0x40, true);
+        assert!(out.mem.is_empty());
+        assert_eq!(e.stats().meta_per_access(), 0.0);
+    }
+
+    #[test]
+    fn vault_cold_read_fetches_mac_and_tree_path() {
+        let mut e = engine(Scheme::Vault);
+        let out = e.on_access(0, 0, 0, false);
+        let macs = out.mem.iter().filter(|m| m.kind == MetaKind::Mac).count();
+        let trees = out.mem.iter().filter(|m| m.kind == MetaKind::Tree).count();
+        assert_eq!(macs, 1, "cold MAC fetch");
+        // Cold walk misses every stored level.
+        assert!(trees >= 3, "cold tree walk fetched {trees} levels");
+        assert_eq!(out.case, MissCase::H);
+    }
+
+    #[test]
+    fn vault_warm_read_hits_everything() {
+        let mut e = engine(Scheme::Vault);
+        e.on_access(0, 0, 0, false);
+        let out = e.on_access(0, 0, 0, false);
+        assert!(out.mem.is_empty());
+        assert_eq!(out.case, MissCase::A);
+    }
+
+    #[test]
+    fn spatial_locality_shares_mac_and_leaf_lines() {
+        let mut e = engine(Scheme::Vault);
+        e.on_access(0, 0, 0, false);
+        // Next block: same MAC line (8 blocks/line) and same leaf (64).
+        let out = e.on_access(0, 64, 1, false);
+        assert!(out.mem.is_empty(), "expected full spatial reuse: {out:?}");
+    }
+
+    #[test]
+    fn synergy_read_skips_mac_structure() {
+        let mut e = engine(Scheme::Synergy);
+        let out = e.on_access(0, 0, 0, false);
+        assert!(out.mem.iter().all(|m| m.kind != MetaKind::Mac));
+        assert!(out.mem.iter().any(|m| m.kind == MetaKind::Tree));
+    }
+
+    #[test]
+    fn synergy_write_pays_one_parity_write() {
+        let mut e = engine(Scheme::Synergy);
+        e.on_access(0, 0, 0, false); // warm the tree
+        let out = e.on_access(0, 0, 0, true);
+        let parity: Vec<_> = out
+            .mem
+            .iter()
+            .filter(|m| m.kind == MetaKind::Parity)
+            .collect();
+        assert_eq!(parity.len(), 1);
+        assert!(parity[0].is_write);
+    }
+
+    #[test]
+    fn shared_parity_uncached_pays_rmw() {
+        let mut e = engine(Scheme::ItSynergySharedParity);
+        e.on_access(0, 0, 0, false);
+        let out = e.on_access(0, 0, 0, true);
+        let reads = out
+            .mem
+            .iter()
+            .filter(|m| m.kind == MetaKind::Parity && !m.is_write)
+            .count();
+        let writes = out
+            .mem
+            .iter()
+            .filter(|m| m.kind == MetaKind::Parity && m.is_write)
+            .count();
+        assert_eq!((reads, writes), (1, 1), "shared parity is a RMW");
+    }
+
+    #[test]
+    fn parity_cache_coalesces_writes() {
+        let mut e = engine(Scheme::ItSynergyParityCache);
+        e.on_access(0, 0, 0, false);
+        // 8 writes to consecutive blocks share one parity line: only
+        // evictions produce traffic.
+        let mut parity_traffic = 0;
+        for b in 0..8u64 {
+            let out = e.on_access(0, b * 64, b, true);
+            parity_traffic += out
+                .mem
+                .iter()
+                .filter(|m| m.kind == MetaKind::Parity)
+                .count();
+        }
+        assert_eq!(parity_traffic, 0, "all parity writes coalesced on-chip");
+    }
+
+    #[test]
+    fn itesp_read_and_write_touch_only_the_tree() {
+        let mut e = engine(Scheme::Itesp);
+        let r = e.on_access(0, 0, 0, false);
+        assert!(r.mem.iter().all(|m| m.kind == MetaKind::Tree));
+        let w = e.on_access(0, 64, 1, true);
+        assert!(
+            w.mem.iter().all(|m| m.kind == MetaKind::Tree),
+            "ITESP write produced non-tree traffic: {w:?}"
+        );
+    }
+
+    #[test]
+    fn itesp_warm_write_is_free() {
+        let mut e = engine(Scheme::Itesp);
+        e.on_access(0, 0, 0, true);
+        let out = e.on_access(0, 64, 1, true);
+        assert!(
+            out.mem.is_empty(),
+            "counter+parity both live in the hot leaf"
+        );
+    }
+
+    #[test]
+    fn itesp_column_mapping_defeats_embedding() {
+        // Under Column (rank stride 1024), a parity group of 8 blocks
+        // spans 8 K consecutive blocks — far more than a leaf covers —
+        // so writes must fall back to external shared parity and pay
+        // its traffic (Figure 15's metadata penalty).
+        let parity_traffic = |stride: u64| {
+            let mut cfg = EngineConfig::paper_default(Scheme::Itesp);
+            cfg.rank_stride_blocks = stride;
+            let mut e = SecurityEngine::new(cfg);
+            let mut parity = 0;
+            for b in 0..512u64 {
+                let out = e.on_access(0, b * 4096, b * 64, true);
+                parity += out
+                    .mem
+                    .iter()
+                    .filter(|m| m.kind == MetaKind::Parity)
+                    .count();
+            }
+            parity
+        };
+        assert_eq!(parity_traffic(4), 0, "4-RBH embeds: no parity traffic");
+        assert!(
+            parity_traffic(1024) > 100,
+            "Column must pay external parity traffic"
+        );
+    }
+
+    #[test]
+    fn embedding_viability_follows_rank_stride() {
+        for (stride, viable) in [(1u64, true), (2, true), (4, true), (1024, false)] {
+            let mut cfg = EngineConfig::paper_default(Scheme::Itesp);
+            cfg.rank_stride_blocks = stride;
+            let e = SecurityEngine::new(cfg);
+            assert_eq!(e.embedding_viable(), viable, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn isolation_partitions_do_not_interfere() {
+        let mut shared = engine(Scheme::Synergy);
+        let mut isolated = engine(Scheme::ItSynergy);
+        // Enclave 0 warms its path; enclave 1's identical enclave-block
+        // address in the isolated design misses in its own partition.
+        shared.on_access(0, 0, 0, false);
+        isolated.on_access(0, 0, 0, false);
+        let s1 = isolated.on_access(1, 1 << 20, 0, false);
+        assert!(
+            !s1.mem.is_empty(),
+            "different enclave must miss its own tree"
+        );
+        // But warms for the next access.
+        let s2 = isolated.on_access(1, 1 << 20, 0, false);
+        assert!(s2.mem.is_empty());
+    }
+
+    #[test]
+    fn dirty_leaf_eviction_emits_writeback_and_dirties_parent() {
+        // Tiny cache so evictions happen quickly.
+        let mut cfg = EngineConfig::paper_default(Scheme::Synergy);
+        cfg.metadata_cache_bytes = 1024; // 16 lines
+        let mut e = SecurityEngine::new(cfg);
+        // Write to many distinct leaves to force dirty evictions.
+        let mut wb = 0;
+        for i in 0..200u64 {
+            let out = e.on_access(0, i * 64 * 64, i * 64, true);
+            wb += out
+                .mem
+                .iter()
+                .filter(|m| m.kind == MetaKind::Tree && m.is_write)
+                .count();
+        }
+        assert!(wb > 0, "dirty leaves must be written back");
+    }
+
+    #[test]
+    fn overflow_stall_reported_when_modeled() {
+        let mut cfg = EngineConfig::paper_default(Scheme::Itesp128);
+        cfg.model_overflow = true;
+        let mut e = SecurityEngine::new(cfg);
+        let mut stalled = 0u64;
+        for _ in 0..8 {
+            stalled += e.on_access(0, 0, 0, true).stall_cycles;
+        }
+        // 2-bit locals overflow every 4 writes: 8 writes = 2 overflows.
+        assert_eq!(e.stats().overflows, 2);
+        assert!(stalled > 0);
+    }
+
+    #[test]
+    fn case_classification_table() {
+        assert_eq!(MissCase::classify(false, 0), MissCase::A);
+        assert_eq!(MissCase::classify(true, 0), MissCase::B);
+        assert_eq!(MissCase::classify(false, 1), MissCase::C);
+        assert_eq!(MissCase::classify(true, 1), MissCase::D);
+        assert_eq!(MissCase::classify(false, 2), MissCase::E);
+        assert_eq!(MissCase::classify(true, 2), MissCase::F);
+        assert_eq!(MissCase::classify(false, 5), MissCase::G);
+        assert_eq!(MissCase::classify(true, 3), MissCase::H);
+    }
+
+    #[test]
+    fn drain_writes_back_dirty_state() {
+        let mut e = engine(Scheme::Synergy);
+        e.on_access(0, 0, 0, true);
+        let mem = e.drain();
+        assert!(mem.iter().any(|m| m.kind == MetaKind::Tree && m.is_write));
+    }
+
+    #[test]
+    fn stats_count_reads_and_writes() {
+        let mut e = engine(Scheme::Vault);
+        e.on_access(0, 0, 0, false);
+        e.on_access(0, 1 << 24, 100, true);
+        let s = e.stats();
+        assert_eq!(s.data_reads, 1);
+        assert_eq!(s.data_writes, 1);
+        assert!(s.meta_per_access() > 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! The secure-memory designs evaluated in the paper.
+//!
+//! [`Scheme`] enumerates every bar of Figures 8 and 11; [`SchemeSpec`]
+//! is the mechanical description the engine executes. The progression
+//! mirrors the paper's narrative:
+//!
+//! 1. `Vault` — separate MAC + counter tree (VAULT baseline);
+//! 2. `ItVault` — + isolated trees and metadata caches;
+//! 3. `Synergy` — MAC moved into the ECC field, per-block parity;
+//! 4. `ItSynergy` — + isolation;
+//! 5. `ItSynergyParityCache` — + coalescing parity cache;
+//! 6. `ItSynergySharedParity` — parity shared across 8 ranks (RMW);
+//! 7. `ItSynergySharedParityCache` — shared parity + parity cache;
+//! 8. `Itesp` — shared parity embedded in the tree leaves;
+//! 9. `Syn128` / `ItSyn128` / `Itesp64` / `Itesp128` — the Morphable-
+//!    counter family of Figure 11.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tree::TreeGeometry;
+
+/// How error-correction parity is organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParityMode {
+    /// No separate parity structure (baseline ECC lives in the 9th chip,
+    /// transferred inline with data).
+    None,
+    /// Synergy: one 64-bit parity word per data block, written on every
+    /// data write (needs DRAM write masking).
+    PerBlock,
+    /// Parity XOR-shared by N blocks in different ranks; updates are
+    /// read-modify-writes (Section III-C).
+    Shared(u64),
+    /// Shared parity embedded in the tree leaf (ITESP, Section III-D).
+    Embedded,
+}
+
+/// Which counter-tree family a scheme uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeKind {
+    /// No integrity protection (non-secure baseline).
+    None,
+    /// VAULT arities 64/32/16.
+    Vault,
+    /// VAULT-based ITESP: leaf 32 + embedded parity.
+    VaultItesp,
+    /// Morphable, arity 128 throughout (SYN128).
+    Morphable128,
+    /// ITESP 64: leaf 64 + embedded parity, 128 above.
+    MorphItesp64,
+    /// ITESP 128: leaf 128 + embedded parity.
+    MorphItesp128,
+}
+
+impl TreeKind {
+    /// Instantiate the geometry over `data_blocks`.
+    pub fn geometry(self, data_blocks: u64) -> Option<TreeGeometry> {
+        match self {
+            TreeKind::None => None,
+            TreeKind::Vault => Some(TreeGeometry::vault(data_blocks)),
+            TreeKind::VaultItesp => Some(TreeGeometry::vault_itesp(data_blocks)),
+            TreeKind::Morphable128 => Some(TreeGeometry::syn128(data_blocks)),
+            TreeKind::MorphItesp64 => Some(TreeGeometry::itesp64(data_blocks)),
+            TreeKind::MorphItesp128 => Some(TreeGeometry::itesp128(data_blocks)),
+        }
+    }
+}
+
+/// Mechanical description of a secure-memory design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemeSpec {
+    pub tree: TreeKind,
+    /// Per-enclave trees and metadata-cache partitions (Section III-A).
+    pub isolated: bool,
+    /// MAC transferred in the ECC field with the data (Synergy) instead
+    /// of via a separate MAC structure (VAULT).
+    pub mac_inline: bool,
+    pub parity: ParityMode,
+    /// On-chip coalescing parity cache (never filled by reads).
+    pub parity_cached: bool,
+}
+
+/// Every evaluated design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Non-secure baseline: plain ECC DIMM.
+    Unsecure,
+    /// VAULT: separate MAC store + VAULT tree, shared across programs.
+    Vault,
+    /// VAULT with isolated trees and metadata caches.
+    ItVault,
+    /// VAULT + Synergy: MAC inline, per-block parity, shared tree.
+    Synergy,
+    /// Synergy with isolation.
+    ItSynergy,
+    /// Isolated Synergy plus a coalescing parity cache.
+    ItSynergyParityCache,
+    /// Isolated Synergy with shared parity, no parity cache.
+    ItSynergySharedParity,
+    /// Isolated Synergy with shared parity and a parity cache.
+    ItSynergySharedParityCache,
+    /// The proposal: isolated tree with embedded shared parity.
+    Itesp,
+    /// Morphable-counter Synergy (arity 128), shared.
+    Syn128,
+    /// Morphable-counter Synergy with isolation.
+    ItSyn128,
+    /// ITESP on Morphable counters, leaf arity 64.
+    Itesp64,
+    /// ITESP on Morphable counters, leaf arity 128.
+    Itesp128,
+}
+
+impl Scheme {
+    /// The eight Figure 8 bars, in plotting order.
+    pub const FIGURE_8: [Scheme; 8] = [
+        Scheme::Vault,
+        Scheme::ItVault,
+        Scheme::Synergy,
+        Scheme::ItSynergy,
+        Scheme::ItSynergyParityCache,
+        Scheme::ItSynergySharedParity,
+        Scheme::ItSynergySharedParityCache,
+        Scheme::Itesp,
+    ];
+
+    /// The Figure 11 bars (Morphable-counter family), in plotting order.
+    pub const FIGURE_11: [Scheme; 5] = [
+        Scheme::Synergy,
+        Scheme::Syn128,
+        Scheme::ItSyn128,
+        Scheme::Itesp64,
+        Scheme::Itesp128,
+    ];
+
+    /// Mechanical spec for this design point.
+    pub fn spec(self) -> SchemeSpec {
+        use Scheme::*;
+        match self {
+            Unsecure => SchemeSpec {
+                tree: TreeKind::None,
+                isolated: false,
+                mac_inline: true,
+                parity: ParityMode::None,
+                parity_cached: false,
+            },
+            Vault => SchemeSpec {
+                tree: TreeKind::Vault,
+                isolated: false,
+                mac_inline: false,
+                parity: ParityMode::None,
+                parity_cached: false,
+            },
+            ItVault => SchemeSpec {
+                tree: TreeKind::Vault,
+                isolated: true,
+                mac_inline: false,
+                parity: ParityMode::None,
+                parity_cached: false,
+            },
+            Synergy => SchemeSpec {
+                tree: TreeKind::Vault,
+                isolated: false,
+                mac_inline: true,
+                parity: ParityMode::PerBlock,
+                parity_cached: false,
+            },
+            ItSynergy => SchemeSpec {
+                tree: TreeKind::Vault,
+                isolated: true,
+                mac_inline: true,
+                parity: ParityMode::PerBlock,
+                parity_cached: false,
+            },
+            ItSynergyParityCache => SchemeSpec {
+                tree: TreeKind::Vault,
+                isolated: true,
+                mac_inline: true,
+                parity: ParityMode::PerBlock,
+                parity_cached: true,
+            },
+            ItSynergySharedParity => SchemeSpec {
+                tree: TreeKind::Vault,
+                isolated: true,
+                mac_inline: true,
+                parity: ParityMode::Shared(8),
+                parity_cached: false,
+            },
+            ItSynergySharedParityCache => SchemeSpec {
+                tree: TreeKind::Vault,
+                isolated: true,
+                mac_inline: true,
+                parity: ParityMode::Shared(8),
+                parity_cached: true,
+            },
+            Itesp => SchemeSpec {
+                tree: TreeKind::VaultItesp,
+                isolated: true,
+                mac_inline: true,
+                parity: ParityMode::Embedded,
+                parity_cached: false,
+            },
+            Syn128 => SchemeSpec {
+                tree: TreeKind::Morphable128,
+                isolated: false,
+                mac_inline: true,
+                parity: ParityMode::PerBlock,
+                parity_cached: false,
+            },
+            ItSyn128 => SchemeSpec {
+                tree: TreeKind::Morphable128,
+                isolated: true,
+                mac_inline: true,
+                parity: ParityMode::PerBlock,
+                parity_cached: false,
+            },
+            Itesp64 => SchemeSpec {
+                tree: TreeKind::MorphItesp64,
+                isolated: true,
+                mac_inline: true,
+                parity: ParityMode::Embedded,
+                parity_cached: false,
+            },
+            Itesp128 => SchemeSpec {
+                tree: TreeKind::MorphItesp128,
+                isolated: true,
+                mac_inline: true,
+                parity: ParityMode::Embedded,
+                parity_cached: false,
+            },
+        }
+    }
+
+    /// Label used by the figure regenerators.
+    pub fn label(self) -> &'static str {
+        use Scheme::*;
+        match self {
+            Unsecure => "UNSECURE",
+            Vault => "VAULT",
+            ItVault => "ITVAULT",
+            Synergy => "SYNERGY",
+            ItSynergy => "ITSYNERGY",
+            ItSynergyParityCache => "ITSYN+P$",
+            ItSynergySharedParity => "ITSYN+SP",
+            ItSynergySharedParityCache => "ITSYN+SP+P$",
+            Itesp => "ITESP",
+            Syn128 => "SYN128",
+            ItSyn128 => "ITSYN128",
+            Itesp64 => "ITESP64",
+            Itesp128 => "ITESP128",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_8_has_eight_schemes() {
+        assert_eq!(Scheme::FIGURE_8.len(), 8);
+        assert_eq!(*Scheme::FIGURE_8.last().unwrap(), Scheme::Itesp);
+    }
+
+    #[test]
+    fn itesp_is_isolated_inline_and_embedded() {
+        let s = Scheme::Itesp.spec();
+        assert!(s.isolated);
+        assert!(s.mac_inline);
+        assert_eq!(s.parity, ParityMode::Embedded);
+        assert_eq!(s.tree, TreeKind::VaultItesp);
+    }
+
+    #[test]
+    fn vault_uses_separate_mac() {
+        assert!(!Scheme::Vault.spec().mac_inline);
+        assert!(Scheme::Synergy.spec().mac_inline);
+    }
+
+    #[test]
+    fn unsecure_has_no_metadata() {
+        let s = Scheme::Unsecure.spec();
+        assert_eq!(s.tree, TreeKind::None);
+        assert_eq!(s.parity, ParityMode::None);
+        assert!(s.tree.geometry(1 << 20).is_none());
+    }
+
+    #[test]
+    fn isolation_flags_follow_the_narrative() {
+        assert!(!Scheme::Vault.spec().isolated);
+        assert!(Scheme::ItVault.spec().isolated);
+        assert!(!Scheme::Synergy.spec().isolated);
+        assert!(Scheme::ItSynergy.spec().isolated);
+    }
+
+    #[test]
+    fn shared_parity_span() {
+        match Scheme::ItSynergySharedParity.spec().parity {
+            ParityMode::Shared(n) => assert_eq!(n, 8),
+            other => panic!("expected shared parity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn geometries_instantiate() {
+        for s in Scheme::FIGURE_8.iter().chain(Scheme::FIGURE_11.iter()) {
+            let spec = s.spec();
+            let g = spec.tree.geometry(1 << 24);
+            assert!(g.is_some(), "{s} should have a tree");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        use std::collections::HashSet;
+        let all = [
+            Scheme::Unsecure,
+            Scheme::Vault,
+            Scheme::ItVault,
+            Scheme::Synergy,
+            Scheme::ItSynergy,
+            Scheme::ItSynergyParityCache,
+            Scheme::ItSynergySharedParity,
+            Scheme::ItSynergySharedParityCache,
+            Scheme::Itesp,
+            Scheme::Syn128,
+            Scheme::ItSyn128,
+            Scheme::Itesp64,
+            Scheme::Itesp128,
+        ];
+        let labels: HashSet<_> = all.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+}

@@ -1,0 +1,423 @@
+//! Functional replay-protected memory.
+//!
+//! The performance engine ([`crate::engine`]) models metadata *traffic*;
+//! this module is the functional counterpart: a memory that really
+//! stores data blocks, per-block counters, MACs, and an integrity tree,
+//! and really detects tampering and replay on every read. It backs the
+//! end-to-end security tests and the `integrity_attacks` example.
+//!
+//! Verification logic follows Section III-F:
+//!
+//! * `MAC = f(Data, Counter, Key)` — per-block, address-bound, stored in
+//!   the ECC field (Synergy/ITESP placement);
+//! * each tree node summarizes its children (leaf nodes summarize block
+//!   counters), chained up to an **on-chip root** the attacker cannot
+//!   touch. Replacing any off-chip state — data, MAC, counter, or a
+//!   whole consistent old snapshot — breaks the chain somewhere between
+//!   the tampered state and the root.
+//!
+//! The attacker surface is modeled explicitly: [`VerifiedMemory`] hands
+//! out [`Snapshot`]s (what a malicious DIMM could record) and offers
+//! `corrupt_*`/`rollback` operations that manipulate the stored state
+//! exactly as physical attacks would.
+
+use std::collections::HashMap;
+
+use crate::mac::{mac_block, siphash24, MacKey};
+use crate::tree::{NodeId, TreeGeometry};
+
+/// Why a read failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// The block's MAC did not match its data+counter (data or MAC
+    /// tampering, or an inconsistent partial replay).
+    MacMismatch { block: u64 },
+    /// A tree node's stored summary did not match its recomputed value
+    /// (counter tampering or a consistent replay of old state).
+    TreeMismatch { level: u32, index: u64 },
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityError::MacMismatch { block } => {
+                write!(f, "MAC mismatch on block {block}")
+            }
+            IntegrityError::TreeMismatch { level, index } => {
+                write!(f, "integrity-tree mismatch at level {level}, node {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+/// Everything an attacker can capture about one block at some instant:
+/// the off-chip state a malicious DIMM could later replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    pub block: u64,
+    pub data: [u8; 64],
+    pub mac: u64,
+    pub counter: u64,
+}
+
+/// A functional replay-protected memory over `data_blocks` blocks.
+#[derive(Debug)]
+pub struct VerifiedMemory {
+    key: MacKey,
+    geo: TreeGeometry,
+    data: HashMap<u64, [u8; 64]>,
+    macs: HashMap<u64, u64>,
+    counters: HashMap<u64, u64>,
+    /// Stored (off-chip) node summaries.
+    summaries: HashMap<NodeId, u64>,
+    /// The on-chip root: the summary of the topmost stored level,
+    /// folded. The attacker cannot modify this.
+    root: u64,
+}
+
+impl VerifiedMemory {
+    /// A verified memory over `data_blocks` blocks with a VAULT-shaped
+    /// tree, all blocks initially zero.
+    ///
+    /// # Panics
+    /// Panics if `data_blocks` is zero.
+    pub fn new(key: MacKey, data_blocks: u64) -> Self {
+        let geo = TreeGeometry::vault(data_blocks);
+        let mut vm = VerifiedMemory {
+            key,
+            geo,
+            data: HashMap::new(),
+            macs: HashMap::new(),
+            counters: HashMap::new(),
+            summaries: HashMap::new(),
+            root: 0,
+        };
+        vm.root = vm.compute_root();
+        vm
+    }
+
+    /// Number of blocks covered.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.geo.data_blocks()
+    }
+
+    fn addr_of(block: u64) -> u64 {
+        block * 64
+    }
+
+    /// Recompute a leaf's summary from the counters it covers.
+    fn compute_leaf_summary(&self, leaf: NodeId) -> u64 {
+        let arity = self.geo.leaf_arity();
+        let first = leaf.index * arity;
+        let mut msg = Vec::with_capacity((arity as usize) * 8);
+        for b in first..(first + arity).min(self.geo.data_blocks()) {
+            msg.extend_from_slice(&self.counters.get(&b).copied().unwrap_or(0).to_le_bytes());
+        }
+        siphash24(&self.key, &msg)
+    }
+
+    /// Recompute an internal node's summary from its children's stored
+    /// summaries.
+    fn compute_internal_summary(&self, node: NodeId) -> u64 {
+        let child_level = node.level - 1;
+        let arity = self.geo.child_arity(node.level);
+        let mut msg = Vec::with_capacity((arity as usize) * 8);
+        for i in 0..arity {
+            let child = NodeId {
+                level: child_level,
+                index: node.index * arity + i,
+            };
+            msg.extend_from_slice(
+                &self
+                    .summaries
+                    .get(&child)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_le_bytes(),
+            );
+        }
+        siphash24(&self.key, &msg)
+    }
+
+    fn compute_summary(&self, node: NodeId) -> u64 {
+        if node.level == 0 {
+            self.compute_leaf_summary(node)
+        } else {
+            self.compute_internal_summary(node)
+        }
+    }
+
+    /// The on-chip root: a hash over the topmost stored level (which is
+    /// small by construction: fewer nodes than one parent's arity).
+    fn compute_root(&self) -> u64 {
+        let top = self.geo.depth() - 1;
+        let top_nodes = self.geo.level_count(top);
+        let mut msg = Vec::with_capacity((top_nodes as usize) * 8);
+        for i in 0..top_nodes {
+            let node = NodeId {
+                level: top,
+                index: i,
+            };
+            msg.extend_from_slice(
+                &self
+                    .summaries
+                    .get(&node)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_le_bytes(),
+            );
+        }
+        siphash24(&self.key, &msg)
+    }
+
+    /// Write `data` to `block`: bump the counter, recompute the MAC,
+    /// and update the tree path up to the on-chip root.
+    ///
+    /// # Panics
+    /// Panics if `block` is out of range.
+    pub fn write(&mut self, block: u64, data: [u8; 64]) {
+        assert!(block < self.geo.data_blocks(), "block out of range");
+        let counter = self.counters.entry(block).or_insert(0);
+        *counter += 1;
+        let counter = *counter;
+        self.macs.insert(
+            block,
+            mac_block(&self.key, &data, counter, Self::addr_of(block)),
+        );
+        self.data.insert(block, data);
+        // Recompute the path bottom-up.
+        let path: Vec<NodeId> = self.geo.walk(block).collect();
+        for node in path {
+            let s = self.compute_summary(node);
+            self.summaries.insert(node, s);
+        }
+        self.root = self.compute_root();
+    }
+
+    /// Read and verify `block`.
+    ///
+    /// # Errors
+    /// Returns the first verification failure on the MAC or the tree
+    /// path; a clean memory never fails.
+    ///
+    /// # Panics
+    /// Panics if `block` is out of range.
+    pub fn read(&self, block: u64) -> Result<[u8; 64], IntegrityError> {
+        assert!(block < self.geo.data_blocks(), "block out of range");
+        let data = self.data.get(&block).copied().unwrap_or([0; 64]);
+        let counter = self.counters.get(&block).copied().unwrap_or(0);
+        let stored_mac = self.macs.get(&block).copied().unwrap_or_else(|| {
+            // Untouched blocks carry the MAC of (zeros, counter 0).
+            mac_block(&self.key, &[0; 64], 0, Self::addr_of(block))
+        });
+        if mac_block(&self.key, &data, counter, Self::addr_of(block)) != stored_mac {
+            return Err(IntegrityError::MacMismatch { block });
+        }
+        // Verify the tree path against stored summaries, then the top
+        // level against the on-chip root.
+        for node in self.geo.walk(block) {
+            let expect = self.compute_summary(node);
+            let stored = self.summaries.get(&node).copied().unwrap_or(0);
+            // An untouched subtree legitimately has no stored summary;
+            // its recomputed value over all-zero state must then match
+            // "unstored" only if nothing below was ever written. We
+            // encode that by treating the recomputed-over-defaults value
+            // of a never-written path as 0-consistent: check only nodes
+            // that have a stored summary or cover written state.
+            if stored != 0 && expect != stored {
+                return Err(IntegrityError::TreeMismatch {
+                    level: node.level,
+                    index: node.index,
+                });
+            }
+            if stored == 0 && self.covers_written_state(node) {
+                return Err(IntegrityError::TreeMismatch {
+                    level: node.level,
+                    index: node.index,
+                });
+            }
+        }
+        if self.compute_root() != self.root {
+            return Err(IntegrityError::TreeMismatch {
+                level: self.geo.depth(),
+                index: 0,
+            });
+        }
+        Ok(data)
+    }
+
+    /// Does this node's subtree contain any nonzero counter?
+    fn covers_written_state(&self, node: NodeId) -> bool {
+        if node.level == 0 {
+            let arity = self.geo.leaf_arity();
+            let first = node.index * arity;
+            (first..first + arity).any(|b| self.counters.get(&b).is_some_and(|&c| c > 0))
+        } else {
+            // Conservative: only called for nodes on a written block's
+            // path, which by construction cover written state.
+            true
+        }
+    }
+
+    /// Capture the off-chip state of `block` (what a malicious DIMM
+    /// sees on the bus / stores in its cells).
+    pub fn snapshot(&self, block: u64) -> Snapshot {
+        Snapshot {
+            block,
+            data: self.data.get(&block).copied().unwrap_or([0; 64]),
+            mac: self
+                .macs
+                .get(&block)
+                .copied()
+                .unwrap_or_else(|| mac_block(&self.key, &[0; 64], 0, Self::addr_of(block))),
+            counter: self.counters.get(&block).copied().unwrap_or(0),
+        }
+    }
+
+    /// Attack: flip bits in the stored data (row hammer, malicious
+    /// module).
+    pub fn corrupt_data(&mut self, block: u64, byte: usize, xor: u8) {
+        let entry = self.data.entry(block).or_insert([0; 64]);
+        entry[byte] ^= xor;
+    }
+
+    /// Attack: tamper with the stored MAC.
+    pub fn corrupt_mac(&mut self, block: u64, xor: u64) {
+        let addr = Self::addr_of(block);
+        let mac = self
+            .macs
+            .entry(block)
+            .or_insert_with(|| mac_block(&self.key, &[0; 64], 0, addr));
+        *mac ^= xor;
+    }
+
+    /// Attack: tamper with the stored counter (without fixing the tree).
+    pub fn corrupt_counter(&mut self, block: u64, delta: u64) {
+        *self.counters.entry(block).or_insert(0) += delta;
+    }
+
+    /// Attack: replay a previously captured, fully consistent snapshot —
+    /// data, MAC, *and* counter together (the strongest replay the
+    /// paper's threat model considers; only the tree catches it).
+    pub fn rollback(&mut self, snap: &Snapshot) {
+        self.data.insert(snap.block, snap.data);
+        self.macs.insert(snap.block, snap.mac);
+        self.counters.insert(snap.block, snap.counter);
+        // The tree is NOT updated: the attacker cannot forge keyed
+        // summaries, and the root is on-chip.
+    }
+
+    /// Attack: corrupt a stored tree node.
+    pub fn corrupt_node(&mut self, level: u32, index: u64, xor: u64) {
+        let node = NodeId { level, index };
+        let cur = self.summaries.get(&node).copied().unwrap_or(0);
+        self.summaries.insert(node, cur ^ xor ^ 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm() -> VerifiedMemory {
+        VerifiedMemory::new(MacKey::derive(0xACE, 0), 1 << 16)
+    }
+
+    #[test]
+    fn round_trip_reads_back_writes() {
+        let mut m = vm();
+        let a = [7u8; 64];
+        let b = [9u8; 64];
+        m.write(10, a);
+        m.write(4097, b);
+        assert_eq!(m.read(10).unwrap(), a);
+        assert_eq!(m.read(4097).unwrap(), b);
+        // Untouched block reads as zeros, verified.
+        assert_eq!(m.read(500).unwrap(), [0; 64]);
+    }
+
+    #[test]
+    fn overwrites_bump_counters_and_verify() {
+        let mut m = vm();
+        for i in 0..10u8 {
+            m.write(42, [i; 64]);
+            assert_eq!(m.read(42).unwrap(), [i; 64]);
+        }
+    }
+
+    #[test]
+    fn data_tampering_is_detected() {
+        let mut m = vm();
+        m.write(7, [1; 64]);
+        m.corrupt_data(7, 33, 0x40);
+        assert_eq!(m.read(7), Err(IntegrityError::MacMismatch { block: 7 }));
+        // Other blocks unaffected.
+        assert!(m.read(8).is_ok());
+    }
+
+    #[test]
+    fn mac_tampering_is_detected() {
+        let mut m = vm();
+        m.write(7, [1; 64]);
+        m.corrupt_mac(7, 0xDEAD);
+        assert_eq!(m.read(7), Err(IntegrityError::MacMismatch { block: 7 }));
+    }
+
+    #[test]
+    fn counter_tampering_is_detected_by_the_tree() {
+        let mut m = vm();
+        m.write(7, [1; 64]);
+        m.corrupt_counter(7, 1);
+        // MAC now fails (counter is a MAC input); if the attacker also
+        // recomputed... they can't: the key is on-chip. Either way the
+        // read fails.
+        assert!(m.read(7).is_err());
+    }
+
+    #[test]
+    fn consistent_replay_is_detected_by_the_tree() {
+        let mut m = vm();
+        m.write(7, [1; 64]);
+        let old = m.snapshot(7); // a fully valid (data, MAC, counter)
+        m.write(7, [2; 64]); // victim overwrites
+        m.rollback(&old); // attacker replays the old triple
+                          // The MAC *matches* (it was valid once) — only the tree can
+                          // catch this, per the paper's threat model.
+        let err = m.read(7).unwrap_err();
+        assert!(
+            matches!(err, IntegrityError::TreeMismatch { .. }),
+            "replay must be caught by the tree, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn tree_node_corruption_is_detected() {
+        let mut m = vm();
+        m.write(7, [1; 64]);
+        m.corrupt_node(0, 0, 0x1234);
+        assert!(matches!(
+            m.read(7),
+            Err(IntegrityError::TreeMismatch { level: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn unrelated_subtrees_are_unaffected_by_attacks() {
+        let mut m = vm();
+        m.write(0, [1; 64]);
+        m.write(60_000, [2; 64]);
+        m.corrupt_data(0, 0, 1);
+        assert!(m.read(0).is_err());
+        assert_eq!(m.read(60_000).unwrap(), [2; 64]);
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = IntegrityError::MacMismatch { block: 5 };
+        assert!(e.to_string().contains("block 5"));
+        let e = IntegrityError::TreeMismatch { level: 1, index: 9 };
+        assert!(e.to_string().contains("level 1"));
+    }
+}

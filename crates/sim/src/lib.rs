@@ -1,0 +1,31 @@
+//! # itesp-sim — the full-system evaluation driver
+//!
+//! Glues the substrates together into the paper's methodology
+//! (Section IV): synthetic multi-program traces ([`itesp-trace`])
+//! replayed through per-core ROB models, filtered by the security
+//! metadata engine ([`itesp-core`]), into the cycle-accurate DRAM model
+//! ([`itesp-dram`]).
+//!
+//! * [`system`] — cores, ROBs, metadata/DRAM glue, the main loop;
+//! * [`stats`] — run results and normalized metrics;
+//! * [`experiments`] — canned parameter sets for every figure;
+//! * [`covert`] — the Figure 5 covert-channel demonstration.
+//!
+//! ```
+//! use itesp_core::Scheme;
+//! use itesp_sim::{run_named, ExperimentParams};
+//!
+//! let base = run_named("lbm", ExperimentParams::paper_4core(Scheme::Unsecure, 500));
+//! let itesp = run_named("lbm", ExperimentParams::paper_4core(Scheme::Itesp, 500));
+//! assert!(itesp.normalized_time(&base) >= 1.0);
+//! ```
+
+pub mod covert;
+pub mod experiments;
+pub mod stats;
+pub mod system;
+
+pub use covert::{run_channel, ChannelPoint, CovertConfig, LatencyRange};
+pub use experiments::{run_experiment, run_named, run_workload, ExperimentParams};
+pub use stats::RunResult;
+pub use system::{System, SystemConfig, CPU_PER_DRAM_CYCLE};

@@ -1,0 +1,481 @@
+//! The full-system simulator: N cores replaying LLC-filtered traces
+//! through the security engine into the DRAM model.
+//!
+//! Core model (USIMM-style, Table III): a 64-entry, 4-wide ROB per
+//! core. Trace gaps are non-memory instructions fetched 4 per cycle;
+//! reads issue to memory at fetch (out-of-order execute) but block
+//! retirement at the ROB head until data returns; writes enter the
+//! memory controller's write queue at retirement. Metadata transactions
+//! produced by the engine contend for the same controller queues —
+//! verification latency itself is hidden by speculation, so metadata
+//! costs *bandwidth*, which is the paper's premise.
+
+use std::collections::{HashMap, VecDeque};
+
+use itesp_core::{EngineConfig, MetaAccess, SecurityEngine};
+use itesp_dram::{DramConfig, MemorySystem, RequestId};
+use itesp_trace::{MemOp, MultiProgram, PhysRecord, PAGE_BYTES};
+
+use crate::stats::RunResult;
+
+/// CPU cycles per DRAM bus cycle (3.2 GHz core, 800 MHz DDR3 bus).
+pub const CPU_PER_DRAM_CYCLE: u64 = 4;
+
+/// Full-system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    pub dram: DramConfig,
+    pub engine: EngineConfig,
+    /// ROB entries per core.
+    pub rob_size: u64,
+    /// Fetch/retire width, instructions per cycle.
+    pub width: u64,
+    /// Safety valve: abort after this many CPU cycles (0 = unlimited).
+    pub max_cycles: u64,
+}
+
+impl SystemConfig {
+    /// Table III defaults for the given engine configuration.
+    pub fn table_iii(dram: DramConfig, engine: EngineConfig) -> Self {
+        SystemConfig {
+            dram,
+            engine,
+            rob_size: 64,
+            width: 4,
+            max_cycles: 0,
+        }
+    }
+}
+
+/// A completed demand read's owner; writes and metadata requests are
+/// fire-and-forget and never enter this map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReqTag {
+    core: usize,
+    rob_pos: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingRead {
+    rob_pos: u64,
+    done: bool,
+}
+
+/// Per-core replay state.
+#[derive(Debug)]
+struct Core {
+    trace: Vec<PhysRecord>,
+    /// Next record index.
+    pos: usize,
+    /// Remaining gap instructions of the current record still to fetch.
+    gap_left: u64,
+    /// True when the current record's memory op has been fetched/issued.
+    op_issued: bool,
+    /// Cumulative instructions fetched / retired.
+    fetched: u64,
+    retired: u64,
+    reads: VecDeque<PendingRead>,
+    /// A write waiting at the head of the ROB for write-queue space.
+    blocked_write: Option<u64>,
+    /// Fetch frozen until this cycle (counter-overflow re-encryption).
+    stall_until: u64,
+    /// Cycle at which this core retired its last instruction.
+    finish: Option<u64>,
+}
+
+impl Core {
+    fn new(trace: Vec<PhysRecord>) -> Self {
+        let gap_left = trace.first().map_or(0, |r| u64::from(r.gap));
+        Core {
+            trace,
+            pos: 0,
+            gap_left,
+            op_issued: false,
+            fetched: 0,
+            retired: 0,
+            reads: VecDeque::new(),
+            blocked_write: None,
+            stall_until: 0,
+            finish: None,
+        }
+    }
+
+    fn trace_done(&self) -> bool {
+        self.pos >= self.trace.len()
+    }
+
+    fn done(&self) -> bool {
+        self.trace_done() && self.retired == self.fetched && self.blocked_write.is_none()
+    }
+
+    fn rob_occupancy(&self) -> u64 {
+        self.fetched - self.retired
+    }
+
+    /// Advance to the next trace record after the current one's op
+    /// has been fetched.
+    fn advance_record(&mut self) {
+        self.pos += 1;
+        self.op_issued = false;
+        self.gap_left = self.trace.get(self.pos).map_or(0, |r| u64::from(r.gap));
+    }
+}
+
+/// The assembled system.
+pub struct System {
+    cfg: SystemConfig,
+    mem: MemorySystem,
+    engine: SecurityEngine,
+    cores: Vec<Core>,
+    tags: HashMap<RequestId, ReqTag>,
+    /// Metadata (and data-write) transactions waiting for queue space.
+    pending_meta: VecDeque<(u64, bool)>,
+    cycle: u64,
+}
+
+impl System {
+    /// Build a system replaying `workload` (one trace per core).
+    pub fn new(cfg: SystemConfig, workload: &MultiProgram) -> Self {
+        let mem = MemorySystem::new(cfg.dram);
+        let engine = SecurityEngine::new(cfg.engine);
+        let cores = workload.traces.iter().cloned().map(Core::new).collect();
+        System {
+            cfg,
+            mem,
+            engine,
+            cores,
+            tags: HashMap::new(),
+            pending_meta: VecDeque::new(),
+            cycle: 0,
+        }
+    }
+
+    /// Dense per-enclave block index for an access: the engine needs
+    /// the leaf-id page plus the in-page offset. The physical trace was
+    /// produced by first-touch allocation, so per-enclave leaf pages are
+    /// recovered from the shared mapper at composition time; here we
+    /// derive them from the physical page directly via a per-core map.
+    fn enclave_block(leaf_pages: &mut HashMap<u64, u64>, paddr: u64) -> u64 {
+        let page = paddr / PAGE_BYTES;
+        let next = leaf_pages.len() as u64;
+        let leaf = *leaf_pages.entry(page).or_insert(next);
+        leaf * (PAGE_BYTES / 64) + (paddr % PAGE_BYTES) / 64
+    }
+
+    /// Run to completion; returns the collected results.
+    ///
+    /// # Panics
+    /// Panics if `max_cycles` is exceeded (deadlock guard).
+    pub fn run(mut self) -> RunResult {
+        let ncores = self.cores.len();
+        let mut leaf_maps: Vec<HashMap<u64, u64>> = vec![HashMap::new(); ncores];
+        let limit = if self.cfg.max_cycles == 0 {
+            u64::MAX
+        } else {
+            self.cfg.max_cycles
+        };
+
+        while !self.all_done() {
+            assert!(self.cycle < limit, "simulation exceeded max_cycles");
+
+            // Memory ticks at the DRAM clock.
+            if self.cycle.is_multiple_of(CPU_PER_DRAM_CYCLE) {
+                let dram_now = self.cycle / CPU_PER_DRAM_CYCLE;
+                self.drain_pending_meta(dram_now);
+                self.mem.tick(dram_now);
+                for c in self.mem.take_completions() {
+                    if let Some(tag) = self.tags.remove(&c.id) {
+                        if let Some(p) = self.cores[tag.core]
+                            .reads
+                            .iter_mut()
+                            .find(|p| p.rob_pos == tag.rob_pos)
+                        {
+                            p.done = true;
+                        }
+                    }
+                }
+            }
+
+            #[allow(clippy::needless_range_loop)] // indices feed two disjoint borrows
+            for core_idx in 0..ncores {
+                self.retire(core_idx);
+                self.fetch(core_idx, &mut leaf_maps[core_idx]);
+            }
+
+            self.try_fast_forward();
+            self.cycle += 1;
+        }
+
+        self.finish_run()
+    }
+
+    fn all_done(&self) -> bool {
+        self.cores.iter().all(Core::done) && self.mem.is_idle() && self.pending_meta.is_empty()
+    }
+
+    /// Issue queued metadata / writeback transactions as space frees up.
+    fn drain_pending_meta(&mut self, dram_now: u64) {
+        while let Some(&(addr, is_write)) = self.pending_meta.front() {
+            let ok = if is_write {
+                self.mem.enqueue_write(addr, dram_now).is_ok()
+            } else {
+                self.mem.enqueue_read(addr, dram_now).is_ok()
+            };
+            if ok {
+                self.pending_meta.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn queue_meta(&mut self, mem_list: &[MetaAccess]) {
+        for m in mem_list {
+            self.pending_meta.push_back((m.addr, m.is_write));
+        }
+    }
+
+    /// Retire up to `width` instructions from the ROB head.
+    fn retire(&mut self, ci: usize) {
+        let dram_now = self.cycle / CPU_PER_DRAM_CYCLE;
+        // A write blocked on a full write queue stalls retirement.
+        if let Some(addr) = self.cores[ci].blocked_write {
+            if self.mem.enqueue_write(addr, dram_now).is_ok() {
+                self.cores[ci].blocked_write = None;
+            } else {
+                return;
+            }
+        }
+        let core = &mut self.cores[ci];
+        let mut budget = self.cfg.width;
+        while budget > 0 && core.retired < core.fetched {
+            if let Some(front) = core.reads.front() {
+                if front.rob_pos == core.retired {
+                    if front.done {
+                        core.reads.pop_front();
+                        core.retired += 1;
+                        budget -= 1;
+                        continue;
+                    }
+                    break; // read at head still outstanding
+                }
+                let plain = (front.rob_pos - core.retired).min(budget);
+                core.retired += plain;
+                budget -= plain;
+            } else {
+                let plain = (core.fetched - core.retired).min(budget);
+                core.retired += plain;
+                budget -= plain;
+            }
+        }
+        if core.done() && core.finish.is_none() {
+            core.finish = Some(self.cycle);
+        }
+    }
+
+    /// Fetch up to `width` instructions into the ROB; memory ops issue
+    /// their DRAM and metadata traffic here (reads) or at retire
+    /// (writes, via `blocked_write` when the queue is full).
+    fn fetch(&mut self, ci: usize, leaf_map: &mut HashMap<u64, u64>) {
+        if self.cores[ci].stall_until > self.cycle {
+            return;
+        }
+        let dram_now = self.cycle / CPU_PER_DRAM_CYCLE;
+        let mut budget = self.cfg.width;
+        while budget > 0 {
+            let core = &mut self.cores[ci];
+            if core.trace_done() || core.rob_occupancy() >= self.cfg.rob_size {
+                break;
+            }
+            if core.gap_left > 0 {
+                let take = core
+                    .gap_left
+                    .min(budget)
+                    .min(self.cfg.rob_size - core.rob_occupancy());
+                core.fetched += take;
+                core.gap_left -= take;
+                budget -= take;
+                continue;
+            }
+            if core.op_issued {
+                core.advance_record();
+                continue;
+            }
+            // Fetch the record's memory operation (one ROB slot).
+            let rec = core.trace[core.pos];
+            let is_write = rec.op == MemOp::Write;
+            let eb = Self::enclave_block(leaf_map, rec.paddr);
+            if is_write {
+                // Writes retire into the write queue; metadata issues now.
+                let rob_pos = core.fetched;
+                core.fetched += 1;
+                core.op_issued = true;
+                budget -= 1;
+                let _ = rob_pos;
+                let ok = self.mem.enqueue_write(rec.paddr, dram_now).is_ok();
+                if !ok {
+                    self.cores[ci].blocked_write = Some(rec.paddr);
+                }
+                let out = self.engine.on_access(ci, rec.paddr, eb, true);
+                if out.stall_cycles > 0 {
+                    self.cores[ci].stall_until = self.cycle + out.stall_cycles;
+                }
+                self.queue_meta(&out.mem);
+                if self.cores[ci].blocked_write.is_some() {
+                    break; // can't run ahead past a blocked write
+                }
+            } else {
+                // Reads need queue space at fetch.
+                match self.mem.enqueue_read(rec.paddr, dram_now) {
+                    Ok(id) => {
+                        let rob_pos = core.fetched;
+                        core.fetched += 1;
+                        core.op_issued = true;
+                        budget -= 1;
+                        core.reads.push_back(PendingRead {
+                            rob_pos,
+                            done: false,
+                        });
+                        self.tags.insert(id, ReqTag { core: ci, rob_pos });
+                        let out = self.engine.on_access(ci, rec.paddr, eb, false);
+                        if out.stall_cycles > 0 {
+                            self.cores[ci].stall_until = self.cycle + out.stall_cycles;
+                        }
+                        self.queue_meta(&out.mem);
+                    }
+                    Err(_) => break, // fetch stalls on a full read queue
+                }
+            }
+        }
+    }
+
+    /// When nothing is in flight anywhere, jump time to the next event:
+    /// pure gap-crunching proceeds at `width` instructions per cycle.
+    fn try_fast_forward(&mut self) {
+        if !self.mem.is_idle() || !self.pending_meta.is_empty() {
+            return;
+        }
+        if self
+            .cores
+            .iter()
+            .any(|c| !c.reads.is_empty() || c.blocked_write.is_some() || c.stall_until > self.cycle)
+        {
+            return;
+        }
+        // Cycles until any core reaches its next memory op (bounded by
+        // ROB drain, which is also width-limited -> gap/width is exact
+        // only when the ROB never fills; be conservative by half).
+        let mut jump = u64::MAX;
+        for c in &self.cores {
+            if c.done() {
+                continue;
+            }
+            let insts = c.gap_left + (c.fetched - c.retired);
+            jump = jump.min(insts / (2 * self.cfg.width));
+        }
+        if jump == u64::MAX || jump < 8 {
+            return;
+        }
+        // Bulk-run each core for `jump` cycles of pure instruction flow.
+        for c in &mut self.cores {
+            if c.done() {
+                continue;
+            }
+            let mut work = jump * self.cfg.width;
+            // Retire backlog first (these insts are already fetched).
+            let backlog = (c.fetched - c.retired).min(work);
+            c.retired += backlog;
+            work -= backlog;
+            let gap = c.gap_left.min(work);
+            c.fetched += gap;
+            c.retired += gap;
+            c.gap_left -= gap;
+        }
+        self.cycle += jump;
+        for c in &mut self.cores {
+            if c.done() && c.finish.is_none() {
+                c.finish = Some(self.cycle);
+            }
+        }
+        self.mem.fast_forward(self.cycle / CPU_PER_DRAM_CYCLE);
+    }
+
+    fn finish_run(mut self) -> RunResult {
+        // Drain dirty metadata state so its write traffic is accounted.
+        let leftovers = self.engine.drain();
+        let extra_writes = leftovers.len() as u64;
+
+        let finishes: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.finish.unwrap_or(self.cycle))
+            .collect();
+        RunResult::collect(self.cycle, finishes, &self.engine, &self.mem, extra_writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itesp_core::Scheme;
+    use itesp_trace::benchmark;
+
+    fn run(scheme: Scheme, ops: usize) -> RunResult {
+        let mp = MultiProgram::homogeneous(benchmark("mcf").unwrap(), 2, ops, 7);
+        let engine = EngineConfig {
+            enclaves: 2,
+            ..EngineConfig::paper_default(scheme)
+        };
+        let cfg = SystemConfig::table_iii(DramConfig::table_iii(), engine);
+        System::new(cfg, &mp).run()
+    }
+
+    #[test]
+    fn unsecure_run_completes() {
+        let r = run(Scheme::Unsecure, 500);
+        assert!(r.cycles > 0);
+        assert_eq!(r.engine.data_accesses(), 1000);
+        assert_eq!(r.engine.meta_accesses(), 0);
+    }
+
+    #[test]
+    fn secure_schemes_are_slower_than_unsecure() {
+        let base = run(Scheme::Unsecure, 1500);
+        let vault = run(Scheme::Vault, 1500);
+        assert!(
+            vault.cycles > base.cycles,
+            "vault {} vs unsecure {}",
+            vault.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn itesp_beats_synergy() {
+        let syn = run(Scheme::Synergy, 1500);
+        let itesp = run(Scheme::Itesp, 1500);
+        assert!(
+            itesp.cycles < syn.cycles,
+            "itesp {} vs synergy {}",
+            itesp.cycles,
+            syn.cycles
+        );
+    }
+
+    #[test]
+    fn metadata_traffic_reaches_dram() {
+        let r = run(Scheme::Vault, 500);
+        let dram_total = r.dram.reads + r.dram.writes;
+        assert!(
+            dram_total > r.engine.data_accesses(),
+            "metadata must add DRAM traffic: {dram_total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(Scheme::Itesp, 400);
+        let b = run(Scheme::Itesp, 400);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,0 +1,35 @@
+//! # itesp-trace — synthetic workload substrate
+//!
+//! The paper drives USIMM with Pin-captured, LLC-filtered traces of 31
+//! benchmarks (SPEC2017, GAP, NAS — Table IV) plus page-table dumps that
+//! capture how co-scheduled programs intermingle physical pages. Neither
+//! Pin traces nor page-table dumps are available here, so this crate
+//! provides the substitute:
+//!
+//! * [`suites`] — the 31 benchmarks with Table IV working sets and
+//!   per-family locality/intensity parameters;
+//! * [`workload`] — deterministic generative models producing
+//!   LLC-filtered virtual traces;
+//! * [`pages`] — a first-touch physical page allocator (interleaved
+//!   across programs, as a real OS free-list would) and the per-enclave
+//!   dense leaf-id assignment used by isolated trees;
+//! * [`multiprog`] — 4/8-copy multiprogrammed composition.
+//!
+//! ```
+//! use itesp_trace::{suites::benchmark, MultiProgram};
+//!
+//! let mp = MultiProgram::homogeneous(benchmark("mcf").unwrap(), 4, 1000, 42);
+//! assert_eq!(mp.copies(), 4);
+//! ```
+
+pub mod multiprog;
+pub mod pages;
+pub mod record;
+pub mod suites;
+pub mod workload;
+
+pub use multiprog::MultiProgram;
+pub use pages::{FreeListModel, PageMapper, Translation};
+pub use record::{MemOp, PhysRecord, TraceRecord, PAGE_BYTES, PAGE_SHIFT};
+pub use suites::{benchmark, memory_intensive, AccessPattern, Benchmark, Suite, BENCHMARKS};
+pub use workload::{WorkloadGen, WorkloadParams};

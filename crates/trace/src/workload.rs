@@ -1,0 +1,280 @@
+//! Generative workload models: synthetic stand-ins for the Pin traces.
+//!
+//! Each benchmark is modeled as a stochastic process over its Table IV
+//! working set with four knobs:
+//!
+//! * **memory intensity** — exponential CPU-cycle gaps between LLC misses
+//!   with the per-benchmark mean,
+//! * **spatial locality** — geometric runs of consecutive blocks,
+//! * **temporal locality** — a hot region revisited with some probability,
+//! * **read/write mix** — Bernoulli per access.
+//!
+//! The generator is deterministic given a seed, so every experiment is
+//! reproducible and different scheme runs see *identical* traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::{MemOp, TraceRecord, PAGE_BYTES};
+use crate::suites::{AccessPattern, Benchmark};
+
+/// Block size assumed by the generators (matches the DRAM model).
+const BLOCK: u64 = 64;
+
+/// Tunable generative parameters, normally derived from a [`Benchmark`].
+///
+/// Temporal locality follows a power law over address-space prefixes:
+/// each run starts at block `ws * u^theta` for uniform `u`, so the
+/// first `x` fraction of the working set receives `x^(1/theta)` of the
+/// accesses. Real LLC-miss streams show exactly this multi-scale reuse
+/// — some mass cacheable at every capacity — which is what makes the
+/// paper's metadata-cache effects (partial leaf capture, upper-level
+/// capture under isolation, thrash under sharing) come out right.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Working set in bytes; all addresses fall in `[0, working_set)`.
+    pub working_set: u64,
+    /// Mean CPU-cycle gap between accesses.
+    pub avg_gap: u32,
+    /// Probability an access is a read.
+    pub read_fraction: f64,
+    /// Mean run length of consecutive-block streaks.
+    pub mean_run: f64,
+    /// Power-law locality exponent theta (1.0 = uniform; larger =
+    /// stronger concentration at low addresses).
+    pub locality_exponent: f64,
+}
+
+impl WorkloadParams {
+    /// Derive generator parameters from a Table IV benchmark entry.
+    pub fn from_benchmark(b: &Benchmark) -> Self {
+        let ws = b.working_set_mb * 1024 * 1024;
+        let (mean_run, locality_exponent) = match b.pattern {
+            // LLC-filtered streams: long sequential sweeps, little
+            // short-distance reuse (the LLC absorbed it).
+            AccessPattern::Streaming => (192.0, 1.4),
+            // Graph kernels: hub vertices stay hot even past the LLC.
+            AccessPattern::Irregular => (2.0, 6.0),
+            AccessPattern::PointerChase => (1.5, 5.0),
+            AccessPattern::Mixed => (4.0, 5.0),
+        };
+        WorkloadParams {
+            working_set: ws,
+            avg_gap: b.avg_gap,
+            read_fraction: b.read_fraction,
+            mean_run,
+            locality_exponent,
+        }
+    }
+}
+
+/// Streaming generator of [`TraceRecord`]s for one program instance.
+///
+/// Implements `Iterator`, so callers can `take(n)` the desired trace
+/// length. Addresses are virtual and block-aligned.
+#[derive(Debug)]
+pub struct WorkloadGen {
+    params: WorkloadParams,
+    rng: StdRng,
+    /// Next block address of the current streak, and blocks remaining.
+    cursor: u64,
+    run_left: u32,
+    ws_blocks: u64,
+}
+
+impl WorkloadGen {
+    /// Create a generator for `params`, seeded deterministically.
+    ///
+    /// # Panics
+    /// Panics if the working set is smaller than one page.
+    pub fn new(params: WorkloadParams, seed: u64) -> Self {
+        assert!(
+            params.working_set >= PAGE_BYTES,
+            "working set must be at least one page"
+        );
+        assert!(
+            params.locality_exponent >= 1.0,
+            "locality exponent must be >= 1 (1 = uniform)"
+        );
+        let ws_blocks = params.working_set / BLOCK;
+        WorkloadGen {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            cursor: 0,
+            run_left: 0,
+            ws_blocks,
+        }
+    }
+
+    /// Convenience constructor from a benchmark table entry.
+    pub fn for_benchmark(b: &Benchmark, seed: u64) -> Self {
+        Self::new(WorkloadParams::from_benchmark(b), seed)
+    }
+
+    fn start_new_run(&mut self) {
+        let p = &self.params;
+        // Power-law prefix locality: low addresses are revisited often,
+        // the tail is swept rarely.
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let base = ((self.ws_blocks as f64) * u.powf(p.locality_exponent)) as u64;
+        self.cursor = base.min(self.ws_blocks - 1);
+        // Geometric run length with the configured mean (>= 1).
+        let q = 1.0 / p.mean_run.max(1.0);
+        let mut len = 1u32;
+        while !self.rng.gen_bool(q) && len < 1024 {
+            len += 1;
+        }
+        self.run_left = len;
+    }
+
+    fn sample_gap(&mut self) -> u32 {
+        // Exponential with the configured mean, clamped to u32.
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let g = -(u.ln()) * f64::from(self.params.avg_gap);
+        g.min(u32::MAX as f64) as u32
+    }
+}
+
+impl Iterator for WorkloadGen {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.run_left == 0 {
+            self.start_new_run();
+        }
+        let block = self.cursor % self.ws_blocks;
+        self.cursor += 1;
+        self.run_left -= 1;
+        let op = if self.rng.gen_bool(self.params.read_fraction) {
+            MemOp::Read
+        } else {
+            MemOp::Write
+        };
+        Some(TraceRecord {
+            gap: self.sample_gap(),
+            op,
+            vaddr: block * BLOCK,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::benchmark;
+
+    fn gen_n(name: &str, seed: u64, n: usize) -> Vec<TraceRecord> {
+        WorkloadGen::for_benchmark(benchmark(name).unwrap(), seed)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(gen_n("mcf", 7, 1000), gen_n("mcf", 7, 1000));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(gen_n("mcf", 7, 1000), gen_n("mcf", 8, 1000));
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        let b = benchmark("lbm").unwrap();
+        let ws = b.working_set_mb * 1024 * 1024;
+        for r in gen_n("lbm", 1, 10_000) {
+            assert!(r.vaddr < ws);
+            assert_eq!(r.vaddr % BLOCK, 0, "addresses are block aligned");
+        }
+    }
+
+    #[test]
+    fn read_fraction_is_respected() {
+        let b = benchmark("pr").unwrap();
+        let n = 20_000;
+        let reads = gen_n("pr", 3, n)
+            .iter()
+            .filter(|r| r.op == MemOp::Read)
+            .count();
+        let frac = reads as f64 / n as f64;
+        assert!(
+            (frac - b.read_fraction).abs() < 0.02,
+            "read fraction {frac} vs expected {}",
+            b.read_fraction
+        );
+    }
+
+    #[test]
+    fn mean_gap_matches_intensity() {
+        let b = benchmark("bwaves").unwrap();
+        let recs = gen_n("bwaves", 5, 50_000);
+        let mean: f64 = recs.iter().map(|r| f64::from(r.gap)).sum::<f64>() / recs.len() as f64;
+        let expect = f64::from(b.avg_gap);
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean gap {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn streaming_has_longer_runs_than_pointer_chase() {
+        let run_count = |name: &str| {
+            let recs = gen_n(name, 11, 20_000);
+            let mut runs = 1usize;
+            for w in recs.windows(2) {
+                if w[1].vaddr != w[0].vaddr + BLOCK {
+                    runs += 1;
+                }
+            }
+            runs
+        };
+        // Fewer distinct runs => longer average run length.
+        assert!(run_count("lbm") * 4 < run_count("mcf"));
+    }
+
+    #[test]
+    fn power_law_concentrates_accesses_at_low_addresses() {
+        let b = benchmark("pr").unwrap();
+        let p = WorkloadParams::from_benchmark(b);
+        let recs = gen_n("pr", 13, 20_000);
+        // theta = 6: the first 1% of a 6.5 GB space should receive
+        // about (0.01)^(1/6) = 46% of accesses.
+        let cutoff = p.working_set / 100;
+        let low = recs.iter().filter(|r| r.vaddr < cutoff).count();
+        let frac = low as f64 / recs.len() as f64;
+        assert!(
+            (frac - 0.46).abs() < 0.08,
+            "low-prefix fraction {frac}, expected ~0.46"
+        );
+    }
+
+    #[test]
+    fn locality_is_multi_scale() {
+        // Each decade of the address space captures additional mass —
+        // the property that gives every cache size some marginal hits.
+        let b = benchmark("mcf").unwrap();
+        let p = WorkloadParams::from_benchmark(b);
+        let recs = gen_n("mcf", 17, 40_000);
+        let mass = |frac: f64| {
+            let cutoff = (p.working_set as f64 * frac) as u64;
+            recs.iter().filter(|r| r.vaddr < cutoff).count() as f64 / recs.len() as f64
+        };
+        let m_tiny = mass(0.001);
+        let m_small = mass(0.01);
+        let m_mid = mass(0.1);
+        assert!(m_tiny > 0.15, "tiny prefix mass {m_tiny}");
+        assert!(m_small > m_tiny + 0.05, "{m_small} vs {m_tiny}");
+        assert!(m_mid > m_small + 0.05, "{m_mid} vs {m_small}");
+        assert!(m_mid < 0.9, "tail must still be swept: {m_mid}");
+    }
+
+    #[test]
+    #[should_panic(expected = "working set")]
+    fn tiny_working_set_rejected() {
+        let b = benchmark("mcf").unwrap();
+        let mut p = WorkloadParams::from_benchmark(b);
+        p.working_set = 100;
+        let _ = WorkloadGen::new(p, 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Chipkill recovery demo: inject DRAM faults into Synergy/ITESP
+//! codewords and walk the MAC-guided correction procedure
+//! (Sections II-C and III-G).
+//!
+//! Shows: (1) a whole-chip failure corrected by trial-reconstructing
+//! each chip until the MAC matches; (2) shared parity across ranks
+//! recovering the same failure after subtracting companion blocks;
+//! (3) the rare case shared parity gives up on — concurrent failures
+//! in two different ranks — and the scrub-on-detect mitigation math.
+//!
+//! Run: `cargo run --release --example chipkill_recovery`
+
+use itesp::core::mac::mac_block;
+use itesp::prelude::*;
+use itesp::reliability::{correct_shared, shared_parity, Scrubber};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let key = MacKey::derive(0xFEED, 0);
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // A data block as stored: 64 B of data + its MAC in the ECC field.
+    let mut data = [0u8; 64];
+    rng.fill(&mut data[..]);
+    let (counter, addr) = (17u64, 0x1234_5640u64);
+    let word = CodeWord::new(data, mac_block(&key, &data, counter, addr));
+    let parity = column_parity(&word);
+
+    println!("=== 1. Synergy-style per-block parity ===");
+    let mut bad = word;
+    inject(&mut bad, Fault::Chip { chip: 5 }, &mut rng);
+    println!("injected: whole-chip failure on chip 5 (x8 device, 64 bits corrupted)");
+    match verify_and_correct(&bad, parity, &key, counter, addr) {
+        (Correction::Corrected { chip, mac_trials }, fixed) => {
+            println!(
+                "corrected: chip {chip} identified after {mac_trials} MAC trials; data restored: {}",
+                fixed == word
+            );
+        }
+        (other, _) => println!("unexpected outcome: {other:?}"),
+    }
+
+    println!("\n=== 2. ITESP shared parity (one parity word for 8 blocks in 8 ranks) ===");
+    let companions: Vec<CodeWord> = (0..7)
+        .map(|_| {
+            let mut d = [0u8; 64];
+            rng.fill(&mut d[..]);
+            CodeWord::new(d, rng.gen())
+        })
+        .collect();
+    let shared = shared_parity(companions.iter().chain(std::iter::once(&word)));
+    println!(
+        "parity footprint: 8 bytes for {} bytes of data (16x smaller than Synergy)",
+        8 * 72
+    );
+    let mut bad = word;
+    inject(&mut bad, Fault::Chip { chip: 2 }, &mut rng);
+    match correct_shared(&bad, shared, &companions, &key, counter, addr) {
+        (Correction::Corrected { chip, .. }, fixed) => {
+            println!("corrected: chip {chip}; data restored: {}", fixed == word);
+        }
+        (other, _) => println!("unexpected outcome: {other:?}"),
+    }
+
+    println!("\n=== 3. The trade-off: concurrent errors in two different ranks ===");
+    let mut bad = word;
+    inject(&mut bad, Fault::Chip { chip: 2 }, &mut rng);
+    let mut corrupt_companions = companions.clone();
+    inject(
+        &mut corrupt_companions[3],
+        Fault::Chip { chip: 7 },
+        &mut rng,
+    );
+    let (outcome, _) = correct_shared(&bad, shared, &corrupt_companions, &key, counter, addr);
+    println!("two ranks failing within one scrub window: {outcome:?} (detected, not corrected)");
+
+    let p = ReliabilityParams::default();
+    let syn = table_ii(&p, Design::Synergy);
+    let itesp = table_ii(&p, Design::Itesp);
+    let scrub = Scrubber::hourly().with_scrub_on_detect();
+    println!(
+        "\nhow often? Case-4 DUE per billion hours: Synergy {:.0e}, ITESP {:.0e};\n\
+         with scrub-on-detect ({}x smaller window): {:.0e} — better than baseline Synergy.",
+        syn.case4_due,
+        itesp.case4_due,
+        scrub.window_improvement(),
+        itesp.case4_due / scrub.window_improvement()
+    );
+}

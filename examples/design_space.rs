@@ -1,0 +1,73 @@
+//! Design-space exploration: sweep the knobs the paper's sensitivity
+//! studies cover — metadata cache size, address mapping, and core
+//! count — for one workload, using the public API directly.
+//!
+//! Run: `cargo run --release --example design_space [benchmark] [ops]`
+
+use itesp::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("cg");
+    let ops: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8_000);
+    let bench = benchmark(name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name}; see itesp::trace::BENCHMARKS");
+        std::process::exit(1);
+    });
+    println!(
+        "Design space for {name} (working set {} MB, {} ops/program)\n",
+        bench.working_set_mb, ops
+    );
+
+    // 1. Metadata cache size (Figure 13's axis).
+    println!("metadata cache per core (SYNERGY vs ITESP, normalized time):");
+    let base = run_experiment(bench, ExperimentParams::paper_4core(Scheme::Unsecure, ops));
+    for kb in [8usize, 16, 32, 64] {
+        let t = |scheme| {
+            let mut p = ExperimentParams::paper_4core(scheme, ops);
+            p.metadata_cache_bytes = kb * 1024 * 4;
+            run_experiment(bench, p).normalized_time(&base)
+        };
+        println!(
+            "  {kb:>2} KB: SYNERGY {:.2}x  ITESP {:.2}x",
+            t(Scheme::Synergy),
+            t(Scheme::Itesp)
+        );
+    }
+
+    // 2. Address mapping (Figure 15's axis).
+    println!("\naddress mapping (ITESP, normalized time / row-buffer hit rate):");
+    for m in AddressMapping::ALL {
+        let mut p = ExperimentParams::paper_4core(Scheme::Itesp, ops);
+        p.mapping = m;
+        let r = run_experiment(bench, p);
+        println!(
+            "  {:>6}: {:.2}x, {:.0}% row hits, {:.0}% metadata misses",
+            m.label(),
+            r.normalized_time(&base),
+            r.dram.row_hit_rate() * 100.0,
+            (1.0 - r.metadata_cache.hit_rate()) * 100.0
+        );
+    }
+
+    // 3. Core count (Figure 12's axis).
+    println!("\ncore count (normalized to the matching unsecure baseline):");
+    for (cores, mk) in [
+        (
+            4usize,
+            ExperimentParams::paper_4core as fn(Scheme, usize) -> ExperimentParams,
+        ),
+        (
+            8,
+            ExperimentParams::paper_8core as fn(Scheme, usize) -> ExperimentParams,
+        ),
+    ] {
+        let b = run_experiment(bench, mk(Scheme::Unsecure, ops));
+        let syn = run_experiment(bench, mk(Scheme::Synergy, ops)).normalized_time(&b);
+        let itesp = run_experiment(bench, mk(Scheme::Itesp, ops)).normalized_time(&b);
+        println!(
+            "  {cores} cores: SYNERGY {syn:.2}x  ITESP {itesp:.2}x  (ITESP wins by {:.0}%)",
+            (syn / itesp - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Integrity attacks against a *functional* replay-protected memory:
+//! real data, real MACs, a real counter tree with an on-chip root —
+//! and real detection for every attack in the paper's threat model
+//! (Section II-A).
+//!
+//! Run: `cargo run --release --example integrity_attacks`
+
+use itesp::core::{IntegrityError, MacKey, VerifiedMemory};
+
+fn main() {
+    let mut mem = VerifiedMemory::new(MacKey::derive(0xC0DE, 0), 1 << 16);
+    let mut secret = [b'.'; 64];
+    secret[..38].copy_from_slice(b"the enclave's secret: 0xDEADBEEF (ssh)");
+    mem.write(1000, secret);
+    println!(
+        "wrote a 64 B secret to block 1000; verified read: {:?}\n",
+        mem.read(1000).is_ok()
+    );
+
+    // Attack 1: row-hammer-style bit flip in stored data.
+    println!("1. bit flip in DRAM (row hammer):");
+    let mut m = clone_like(&mem, &secret);
+    m.corrupt_data(1000, 17, 0x04);
+    report(m.read(1000));
+
+    // Attack 2: malicious module rewrites the MAC.
+    println!("2. MAC tampering (malicious DIMM):");
+    let mut m = clone_like(&mem, &secret);
+    m.corrupt_mac(1000, 0xBAD);
+    report(m.read(1000));
+
+    // Attack 3: counter rollback without fixing the tree.
+    println!("3. counter tampering:");
+    let mut m = clone_like(&mem, &secret);
+    m.corrupt_counter(1000, 1);
+    report(m.read(1000));
+
+    // Attack 4: the full replay — a man-in-the-middle captured a
+    // completely valid (data, MAC, counter) triple and serves it back
+    // after the victim overwrote the block. The MAC verifies! Only the
+    // integrity tree (rooted on-chip) catches this.
+    println!("4. consistent replay of an old snapshot (the hard case):");
+    let mut m = clone_like(&mem, &secret);
+    let old = m.snapshot(1000);
+    m.write(1000, [b'N'; 64]); // the victim's newer value
+    m.rollback(&old);
+    report(m.read(1000));
+
+    // Attack 5: corrupt an integrity-tree node itself.
+    println!("5. integrity-tree node corruption:");
+    let mut m = clone_like(&mem, &secret);
+    m.corrupt_node(0, 1000 / 64, 0xF00D);
+    report(m.read(1000));
+
+    println!(
+        "\nEvery attack detected; unrelated blocks still verify: {}",
+        mem.read(2000).is_ok()
+    );
+}
+
+/// Fresh memory with the same contents (VerifiedMemory is not Clone on
+/// purpose: snapshots model the attacker, not the defender).
+fn clone_like(_orig: &VerifiedMemory, secret: &[u8; 64]) -> VerifiedMemory {
+    let mut m = VerifiedMemory::new(MacKey::derive(0xC0DE, 0), 1 << 16);
+    m.write(1000, *secret);
+    m
+}
+
+fn report(r: Result<[u8; 64], IntegrityError>) {
+    match r {
+        Ok(_) => println!("   !!! UNDETECTED — data accepted\n"),
+        Err(e) => println!("   detected: {e}\n"),
+    }
+}

@@ -1,0 +1,53 @@
+//! # itesp — Compact Leakage-Free Support for Integrity and Reliability
+//!
+//! A full reproduction of the ISCA 2020 ITESP paper as a Rust workspace:
+//! replay-protected memory integrity trees co-designed with
+//! chipkill-class reliability, evaluated on a cycle-accurate DDR3
+//! simulator with synthetic SPEC2017/GAP/NAS workload models.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`](itesp_core) — MACs, counter trees, metadata caches, the
+//!   per-access security engine, and every evaluated scheme
+//!   (VAULT / Synergy / isolation / shared parity / ITESP);
+//! * [`dram`](itesp_dram) — the DDR3-1600 memory-system model
+//!   (Table III timing, FR-FCFS, address mappings, energy);
+//! * [`trace`](itesp_trace) — Table IV workload models and the
+//!   OS page-placement substrate;
+//! * [`reliability`](itesp_reliability) — fault injection, MAC-guided
+//!   chipkill correction, and the Table II analytical model;
+//! * [`sim`](itesp_sim) — the full-system driver, experiment presets,
+//!   and the Figure 5 covert channel.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use itesp::prelude::*;
+//!
+//! let base = run_named("lbm", ExperimentParams::paper_4core(Scheme::Unsecure, 500));
+//! let itesp = run_named("lbm", ExperimentParams::paper_4core(Scheme::Itesp, 500));
+//! assert!(itesp.normalized_time(&base) >= 1.0);
+//! ```
+
+pub use itesp_core as core;
+pub use itesp_dram as dram;
+pub use itesp_reliability as reliability;
+pub use itesp_sim as sim;
+pub use itesp_trace as trace;
+
+/// The common imports for driving experiments.
+pub mod prelude {
+    pub use itesp_core::{
+        EngineConfig, MacKey, MetaKind, MissCase, ParityMode, Scheme, SecurityEngine, TreeGeometry,
+    };
+    pub use itesp_dram::{AddressMapping, DramConfig, MemorySystem};
+    pub use itesp_reliability::{
+        column_parity, inject, table_ii, verify_and_correct, CodeWord, Correction, Design, Fault,
+        ReliabilityParams,
+    };
+    pub use itesp_sim::{
+        run_channel, run_experiment, run_named, run_workload, ChannelPoint, CovertConfig,
+        ExperimentParams, RunResult, System, SystemConfig,
+    };
+    pub use itesp_trace::{benchmark, memory_intensive, Benchmark, MultiProgram, BENCHMARKS};
+}

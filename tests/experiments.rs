@@ -1,0 +1,169 @@
+//! Experiment-shape integration tests: the paper's tables and the
+//! qualitative figure claims, checked end to end.
+
+use itesp::core::table_i;
+use itesp::prelude::*;
+
+#[test]
+fn table_i_totals_match_paper() {
+    let rows = table_i();
+    let total = |name: &str| {
+        rows.iter()
+            .find(|r| r.organization == name)
+            .map(|r| (r.total() * 1000.0).round() / 10.0)
+            .unwrap()
+    };
+    assert!((total("VAULT") - 14.1).abs() <= 0.2);
+    assert!((total("Synergy128, x8 chips") - 13.3).abs() <= 0.2);
+    assert!((total("Synergy128, x16 chips") - 25.8).abs() <= 0.2);
+    assert!((total("ITESP64") - 1.6).abs() <= 0.1);
+    assert!((total("ITESP128") - 0.8).abs() <= 0.1);
+}
+
+#[test]
+fn figure_15_column_mapping_hurts_itesp_metadata() {
+    // Column maps a parity group's blocks across distant leaves, so
+    // ITESP's metadata miss rate must be clearly worse than under the
+    // 4-RBH mapping (Figure 15's central claim).
+    let ops = 5_000;
+    let run = |mapping| {
+        let mut p = ExperimentParams::paper_4core(Scheme::Itesp, ops);
+        p.mapping = mapping;
+        run_named("cg", p)
+    };
+    let column = run(AddressMapping::Column);
+    let rbh4 = run(AddressMapping::RowBufferHit4);
+    let miss = |r: &RunResult| 1.0 - r.metadata_cache.hit_rate();
+    assert!(
+        miss(&column) > miss(&rbh4) + 0.05,
+        "column miss {:.2} vs 4-RBH {:.2}",
+        miss(&column),
+        miss(&rbh4)
+    );
+}
+
+#[test]
+fn figure_15_column_mapping_has_best_row_hits_for_streams() {
+    let ops = 5_000;
+    let run = |mapping| {
+        let mut p = ExperimentParams::paper_4core(Scheme::Unsecure, ops);
+        p.mapping = mapping;
+        run_named("lbm", p)
+    };
+    let column = run(AddressMapping::Column);
+    let rank = run(AddressMapping::Rank);
+    assert!(
+        column.dram.row_hit_rate() > rank.dram.row_hit_rate(),
+        "column {:.2} vs rank {:.2}",
+        column.dram.row_hit_rate(),
+        rank.dram.row_hit_rate()
+    );
+}
+
+#[test]
+fn figure_11_overflow_ordering() {
+    // Overflow rates must order by local-counter width:
+    // ITESP64 (5-bit) < SYN128 (3-bit) < ITESP128 (2-bit).
+    let ops = 6_000;
+    let run = |scheme| {
+        let mut p = ExperimentParams::paper_4core(scheme, ops);
+        p.model_overflow = true;
+        run_named("pr", p).engine.overflows
+    };
+    let syn128 = run(Scheme::Syn128);
+    let itesp64 = run(Scheme::Itesp64);
+    let itesp128 = run(Scheme::Itesp128);
+    assert!(itesp64 < syn128, "5-bit ({itesp64}) vs 3-bit ({syn128})");
+    assert!(syn128 < itesp128, "3-bit ({syn128}) vs 2-bit ({itesp128})");
+}
+
+#[test]
+fn figure_2_interference_lowers_utilization() {
+    // Large (4 interleaved programs) must show lower metadata-block
+    // utilization than Small (single pristine tenant) on an irregular
+    // benchmark.
+    use itesp::core::{EngineConfig, SecurityEngine};
+    use itesp::trace::{FreeListModel, PAGE_BYTES};
+    use std::collections::HashMap;
+
+    let replay = |mp: &MultiProgram, cfg: EngineConfig| {
+        let mut engine = SecurityEngine::new(cfg);
+        let mut maps: Vec<HashMap<u64, u64>> = vec![HashMap::new(); mp.copies()];
+        for i in 0..mp.traces[0].len() {
+            for prog in 0..mp.copies() {
+                let r = mp.traces[prog][i];
+                let page = r.paddr / PAGE_BYTES;
+                let next = maps[prog].len() as u64;
+                let leaf = *maps[prog].entry(page).or_insert(next);
+                let eb = leaf * 64 + (r.paddr % PAGE_BYTES) / 64;
+                engine.on_access(prog, r.paddr, eb, r.is_write());
+            }
+        }
+        engine.metadata_cache_stats().hits_per_block()
+    };
+
+    let b = benchmark("pr").unwrap();
+    let large_mp = MultiProgram::homogeneous(b, 4, 10_000, 1);
+    let large = replay(
+        &large_mp,
+        EngineConfig {
+            enclaves: 4,
+            data_capacity: 128 << 30,
+            metadata_cache_bytes: 64 << 10,
+            ..EngineConfig::paper_default(Scheme::Vault)
+        },
+    );
+    let small_mp = MultiProgram::homogeneous_with_model(b, 1, 10_000, 1, FreeListModel::Sequential);
+    let small = replay(
+        &small_mp,
+        EngineConfig {
+            enclaves: 1,
+            data_capacity: 32 << 30,
+            metadata_cache_bytes: 16 << 10,
+            ..EngineConfig::paper_default(Scheme::Vault)
+        },
+    );
+    assert!(
+        small > large * 1.1,
+        "Small utilization ({small:.2}) must exceed Large ({large:.2})"
+    );
+}
+
+#[test]
+fn core_count_scaling_widens_itesp_lead() {
+    // Figure 12: Synergy degrades with more cores even with another
+    // channel; ITESP's relative advantage must not shrink.
+    let ops = 4_000;
+    let lead = |cores: usize| {
+        let mk = |s| {
+            if cores == 4 {
+                ExperimentParams::paper_4core(s, ops)
+            } else {
+                ExperimentParams::paper_8core(s, ops)
+            }
+        };
+        let syn = run_named("cg", mk(Scheme::Synergy)).cycles as f64;
+        let itesp = run_named("cg", mk(Scheme::Itesp)).cycles as f64;
+        syn / itesp
+    };
+    let l4 = lead(4);
+    let l8 = lead(8);
+    assert!(
+        l8 >= l4 * 0.95,
+        "lead should hold or grow with cores: 4c {l4:.2} vs 8c {l8:.2}"
+    );
+}
+
+#[test]
+fn metadata_cache_size_sensitivity_is_monotone() {
+    // Figure 13: larger metadata caches never hurt.
+    let ops = 4_000;
+    let time = |kb: usize| {
+        let mut p = ExperimentParams::paper_4core(Scheme::Synergy, ops);
+        p.metadata_cache_bytes = kb * 1024 * 4;
+        run_named("mcf", p).cycles
+    };
+    let t8 = time(8);
+    let t64 = time(64);
+    assert!(t64 <= t8, "64 KB/core ({t64}) should beat 8 KB/core ({t8})");
+}

@@ -1,0 +1,243 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants that the simulation's correctness rests on.
+
+use proptest::prelude::*;
+
+use itesp::core::mac::{mac_block, siphash24};
+use itesp::core::{MacKey, MetaCache, Scheme, TreeGeometry};
+use itesp::dram::{AddressDecoder, AddressMapping, DramGeometry, BLOCK_BYTES};
+use itesp::prelude::{column_parity, inject, verify_and_correct, CodeWord, Correction, Fault};
+use itesp::trace::{WorkloadGen, WorkloadParams};
+
+fn any_mapping() -> impl Strategy<Value = AddressMapping> {
+    prop_oneof![
+        Just(AddressMapping::Column),
+        Just(AddressMapping::Rank),
+        Just(AddressMapping::RowBufferHit2),
+        Just(AddressMapping::RowBufferHit4),
+    ]
+}
+
+proptest! {
+    /// Address decoding is injective: distinct blocks never collide on
+    /// the same (channel, rank, bank, row, column) coordinates.
+    #[test]
+    fn address_decode_is_injective(
+        mapping in any_mapping(),
+        a in 0u64..(1 << 30),
+        b in 0u64..(1 << 30),
+    ) {
+        prop_assume!(a != b);
+        let dec = AddressDecoder::new(DramGeometry::table_iii(), mapping);
+        prop_assert_ne!(dec.decode(a * BLOCK_BYTES), dec.decode(b * BLOCK_BYTES));
+    }
+
+    /// Bytes within one block decode to the same coordinates.
+    #[test]
+    fn block_offset_is_ignored(
+        mapping in any_mapping(),
+        block in 0u64..(1 << 30),
+        off in 0u64..64,
+    ) {
+        let dec = AddressDecoder::new(DramGeometry::table_iii(), mapping);
+        prop_assert_eq!(
+            dec.decode(block * BLOCK_BYTES),
+            dec.decode(block * BLOCK_BYTES + off)
+        );
+    }
+
+    /// A cache access immediately followed by the same address hits.
+    #[test]
+    fn cache_access_then_hit(addrs in prop::collection::vec(0u64..(1 << 24), 1..64)) {
+        let mut c = MetaCache::new(4096, 4);
+        for &a in &addrs {
+            c.access(a, false);
+            prop_assert!(c.access(a, false).hit, "just-inserted line must hit");
+        }
+    }
+
+    /// Dirty data is never silently dropped: every dirtied block is
+    /// either still resident or was reported as a writeback.
+    #[test]
+    fn cache_never_loses_dirty_blocks(addrs in prop::collection::vec(0u64..(1 << 16), 1..200)) {
+        use std::collections::HashSet;
+        let mut c = MetaCache::new(1024, 2);
+        let mut dirtied: HashSet<u64> = HashSet::new();
+        let mut written_back: HashSet<u64> = HashSet::new();
+        for &a in &addrs {
+            let out = c.access(a, true);
+            dirtied.insert(a >> 6 << 6);
+            if let Some(wb) = out.writeback {
+                written_back.insert(wb);
+            }
+        }
+        for wb in c.flush() {
+            written_back.insert(wb);
+        }
+        for d in dirtied {
+            prop_assert!(written_back.contains(&d), "dirty block {d:#x} vanished");
+        }
+    }
+
+    /// Tree walks: length equals depth, levels strictly ascend, and
+    /// node addresses round-trip through node_at.
+    #[test]
+    fn tree_walk_invariants(block in 0u64..(1 << 24)) {
+        let geo = TreeGeometry::vault(1 << 24);
+        let path: Vec<_> = geo.walk(block).collect();
+        prop_assert_eq!(path.len() as u32, geo.depth());
+        for w in path.windows(2) {
+            prop_assert_eq!(w[1].level, w[0].level + 1);
+        }
+        let base = 0x1000_0000;
+        for n in path {
+            prop_assert_eq!(geo.node_at(base, geo.node_addr(base, n)), n);
+        }
+    }
+
+    /// Blocks sharing a leaf share the whole ancestor path.
+    #[test]
+    fn siblings_share_ancestors(block in 0u64..((1 << 24) - 64)) {
+        let geo = TreeGeometry::vault(1 << 24);
+        let a = geo.leaf_of(block);
+        let b = geo.leaf_of(block + 1);
+        if a == b {
+            let pa: Vec<_> = geo.walk(block).collect();
+            let pb: Vec<_> = geo.walk(block + 1).collect();
+            prop_assert_eq!(pa, pb);
+        }
+    }
+
+    /// The MAC is deterministic and sensitive to every input.
+    #[test]
+    fn mac_sensitivity(
+        data in prop::array::uniform32(any::<u8>()),
+        counter in any::<u64>(),
+        addr in any::<u64>(),
+        flip in 0usize..32,
+    ) {
+        let key = MacKey::derive(5, 0);
+        let mut block = [0u8; 64];
+        block[..32].copy_from_slice(&data);
+        let mac = mac_block(&key, &block, counter, addr);
+        prop_assert_eq!(mac, mac_block(&key, &block, counter, addr));
+        let mut tweaked = block;
+        tweaked[flip] ^= 1;
+        prop_assert_ne!(mac, mac_block(&key, &tweaked, counter, addr));
+        prop_assert_ne!(mac, mac_block(&key, &block, counter ^ 1, addr));
+    }
+
+    /// SipHash consumes every message byte (extension changes the hash).
+    #[test]
+    fn siphash_length_extension_changes_hash(msg in prop::collection::vec(any::<u8>(), 0..64)) {
+        let key = MacKey::derive(6, 0);
+        let h = siphash24(&key, &msg);
+        let mut extended = msg.clone();
+        extended.push(0);
+        prop_assert_ne!(h, siphash24(&key, &extended));
+    }
+
+    /// Chipkill: any fault confined to one chip is fully corrected.
+    #[test]
+    fn any_single_chip_fault_corrects(
+        data in prop::array::uniform32(any::<u8>()),
+        chip in 0u8..9,
+        kind in 0u8..3,
+        pin in 0u8..8,
+        beat in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let key = MacKey::derive(9, 0);
+        let mut block = [0u8; 64];
+        block[..32].copy_from_slice(&data);
+        let word = CodeWord::new(block, mac_block(&key, &block, 3, 0x40));
+        let parity = column_parity(&word);
+        let fault = match kind {
+            0 => Fault::Bit { chip, beat, pin },
+            1 => Fault::Pin { chip, pin },
+            _ => Fault::Chip { chip },
+        };
+        let mut bad = word;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        inject(&mut bad, fault, &mut rng);
+        let (res, fixed) = verify_and_correct(&bad, parity, &key, 3, 0x40);
+        prop_assert!(matches!(res, Correction::Corrected { .. }), "{:?}", res);
+        prop_assert_eq!(fixed, word);
+    }
+
+    /// Workload generators always stay in bounds and respect the seed.
+    #[test]
+    fn workload_generator_bounds(seed in any::<u64>(), ws_mb in 1u64..64) {
+        let params = WorkloadParams {
+            working_set: ws_mb << 20,
+            avg_gap: 50,
+            read_fraction: 0.7,
+            mean_run: 4.0,
+            locality_exponent: 3.0,
+        };
+        let recs: Vec<_> = WorkloadGen::new(params, seed).take(200).collect();
+        for r in &recs {
+            prop_assert!(r.vaddr < params.working_set);
+            prop_assert_eq!(r.vaddr % 64, 0);
+        }
+        let again: Vec<_> = WorkloadGen::new(params, seed).take(200).collect();
+        prop_assert_eq!(recs, again);
+    }
+
+    /// Engine determinism: identical access sequences give identical
+    /// metadata traffic for any scheme.
+    #[test]
+    fn engine_is_deterministic(
+        blocks in prop::collection::vec((0u64..(1 << 20), any::<bool>()), 1..100),
+    ) {
+        use itesp::core::{EngineConfig, SecurityEngine};
+        for scheme in [Scheme::Vault, Scheme::Synergy, Scheme::Itesp] {
+            let mut a = SecurityEngine::new(EngineConfig::paper_default(scheme));
+            let mut b = SecurityEngine::new(EngineConfig::paper_default(scheme));
+            for &(blk, w) in &blocks {
+                let oa = a.on_access(0, blk * 64, blk, w);
+                let ob = b.on_access(0, blk * 64, blk, w);
+                prop_assert_eq!(oa, ob);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Functional verified memory: random write sequences always read
+    /// back verified; any single post-hoc attack is always detected.
+    #[test]
+    fn verified_memory_detects_every_attack(
+        writes in prop::collection::vec((0u64..4096, any::<u8>()), 1..20),
+        attack in 0u8..4,
+        target_idx in any::<prop::sample::Index>(),
+    ) {
+        use itesp::core::{MacKey, VerifiedMemory};
+        let mut m = VerifiedMemory::new(MacKey::derive(0xF00, 0), 1 << 16);
+        for &(b, v) in &writes {
+            m.write(b, [v; 64]);
+        }
+        // Clean reads verify and return the last value written.
+        let mut last: std::collections::HashMap<u64, u8> = Default::default();
+        for &(b, v) in &writes {
+            last.insert(b, v);
+        }
+        for (&b, &v) in &last {
+            prop_assert_eq!(m.read(b).unwrap(), [v; 64]);
+        }
+        // Attack one written block; its read must fail.
+        let (target, _) = writes[target_idx.index(writes.len())];
+        match attack {
+            0 => m.corrupt_data(target, 5, 0x80),
+            1 => m.corrupt_mac(target, 0x77),
+            2 => m.corrupt_counter(target, 1),
+            _ => {
+                let snap = m.snapshot(target);
+                m.write(target, [0xEE; 64]);
+                m.rollback(&snap);
+            }
+        }
+        prop_assert!(m.read(target).is_err(), "attack {attack} undetected");
+    }
+}
