@@ -2,7 +2,10 @@
 //! ticks, and sustained random-read service.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use itesp_dram::{AddressDecoder, AddressMapping, DramConfig, DramGeometry, MemorySystem};
+use itesp_dram::{
+    AddressDecoder, AddressMapping, Channel, Completion, DramConfig, DramGeometry, MemorySystem,
+    ReferenceChannel, Request,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,5 +41,115 @@ fn bench_service(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_decode, bench_service);
+/// Minimal common surface of the optimized and reference channels, so
+/// one driver can benchmark both.
+trait SchedChannel {
+    fn enqueue(&mut self, req: Request) -> bool;
+    fn tick(&mut self, now: u64);
+    fn take_completions(&mut self) -> Vec<Completion>;
+    fn read_queue_has_space(&self) -> bool;
+    fn write_queue_has_space(&self) -> bool;
+}
+
+macro_rules! impl_sched_channel {
+    ($ty:ty) => {
+        impl SchedChannel for $ty {
+            fn enqueue(&mut self, req: Request) -> bool {
+                <$ty>::enqueue(self, req)
+            }
+            fn tick(&mut self, now: u64) {
+                <$ty>::tick(self, now)
+            }
+            fn take_completions(&mut self) -> Vec<Completion> {
+                <$ty>::take_completions(self)
+            }
+            fn read_queue_has_space(&self) -> bool {
+                <$ty>::read_queue_has_space(self)
+            }
+            fn write_queue_has_space(&self) -> bool {
+                <$ty>::write_queue_has_space(self)
+            }
+        }
+    };
+}
+
+impl_sched_channel!(Channel);
+impl_sched_channel!(ReferenceChannel);
+
+/// A request mix that keeps both controller queues deep: mostly dense
+/// blocks (row hits spread over many banks) plus a slice of same-bank
+/// different-row strides (conflicts forcing PRE/ACT churn).
+fn saturated_workload(n: usize) -> Vec<(u64, bool)> {
+    let g = DramGeometry::table_iii();
+    let conflict_stride = u64::from(g.blocks_per_row / 4)
+        * u64::from(g.banks_per_rank)
+        * u64::from(g.ranks_per_channel)
+        * 4
+        * 64;
+    let mut rng = StdRng::seed_from_u64(0xD5A7);
+    (0..n)
+        .map(|_| {
+            let addr = if rng.gen_bool(0.7) {
+                rng.gen_range(0u64..512) * 64
+            } else {
+                rng.gen_range(0u64..16) * 64 + rng.gen_range(1u64..5) * conflict_stride
+            };
+            (addr, rng.gen_bool(0.3))
+        })
+        .collect()
+}
+
+/// Push the workload through a channel, refilling the queues as space
+/// opens so they stay saturated, and return the cycle the last request
+/// completed.
+fn drive_saturated<C: SchedChannel>(ch: &mut C, workload: &[(u64, bool)]) -> u64 {
+    let cfg = DramConfig::table_iii();
+    let dec = AddressDecoder::new(cfg.geometry, cfg.mapping);
+    let mut next = 0usize;
+    let mut done = 0usize;
+    let mut now = 0u64;
+    while done < workload.len() {
+        while next < workload.len() {
+            let (addr, is_write) = workload[next];
+            let space = if is_write {
+                ch.write_queue_has_space()
+            } else {
+                ch.read_queue_has_space()
+            };
+            if !space {
+                break;
+            }
+            let req = Request::new(next as u64, addr, dec.decode(addr), is_write, now);
+            assert!(ch.enqueue(req));
+            next += 1;
+        }
+        ch.tick(now);
+        done += ch.take_completions().len();
+        now += 1;
+    }
+    now
+}
+
+/// Saturated-queue scheduler throughput: deep read/write queues with
+/// mixed row hits and conflicts, optimized channel vs the reference
+/// scheduler it must match command-for-command.
+fn bench_saturated_tick(c: &mut Criterion) {
+    let workload = saturated_workload(2048);
+    let mut group = c.benchmark_group("channel_saturated_tick");
+    group.bench_function("optimized", |b| {
+        b.iter(|| {
+            let mut ch = Channel::new(DramConfig::table_iii());
+            std::hint::black_box(drive_saturated(&mut ch, &workload))
+        });
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut ch = ReferenceChannel::new(DramConfig::table_iii());
+            std::hint::black_box(drive_saturated(&mut ch, &workload))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode, bench_service, bench_saturated_tick);
 criterion_main!(benches);

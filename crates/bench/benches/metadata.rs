@@ -46,7 +46,12 @@ fn bench_engine(c: &mut Criterion) {
                 let mut rng = StdRng::seed_from_u64(1);
                 b.iter(|| {
                     let block: u64 = rng.gen_range(0..1 << 20);
-                    std::hint::black_box(engine.on_access(0, block * 64, block, block % 3 == 0))
+                    std::hint::black_box(engine.on_access(
+                        0,
+                        block * 64,
+                        block,
+                        block.is_multiple_of(3),
+                    ))
                 });
             },
         );

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig08 [ops]`
 
-use itesp_bench::{ops_from_env, print_table, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
 use itesp_core::Scheme;
 use itesp_sim::{run_workload, ExperimentParams, RunResult};
 use itesp_trace::{MultiProgram, BENCHMARKS};
@@ -25,9 +25,11 @@ struct Row {
 fn main() {
     let ops = ops_from_env();
     let schemes = Scheme::FIGURE_8;
-    let mut rows: Vec<Row> = Vec::new();
 
-    for b in BENCHMARKS {
+    // One job per benchmark (its baseline plus every scheme); results
+    // come back in benchmark order regardless of worker count.
+    let rows: Vec<Row> = run_jobs(BENCHMARKS.len(), |i| {
+        let b = &BENCHMARKS[i];
         let mp = MultiProgram::homogeneous(b, 4, ops, TRACE_SEED);
         let base = run_workload(&mp, ExperimentParams::paper_4core(Scheme::Unsecure, ops));
         let times: Vec<f64> = schemes
@@ -37,12 +39,12 @@ fn main() {
             })
             .collect();
         eprintln!("[{}: done]", b.name);
-        rows.push(Row {
+        Row {
             benchmark: b.name,
             memory_intensive: b.memory_intensive,
             times,
-        });
-    }
+        }
+    });
 
     println!("Figure 8: normalized execution time (4 cores, 1 channel, {ops} ops/program)\n");
     let headers: Vec<&str> = std::iter::once("benchmark")

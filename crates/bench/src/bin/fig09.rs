@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig09 [ops]`
 
-use itesp_bench::{ops_from_env, print_table, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
 use itesp_core::{MetaKind, Scheme};
 use itesp_sim::{run_workload, ExperimentParams};
 use itesp_trace::{memory_intensive, MultiProgram};
@@ -27,18 +27,33 @@ fn main() {
     let ops = ops_from_env();
     let schemes = Scheme::FIGURE_8;
     let benches: Vec<_> = memory_intensive().collect();
-    let mut acc = vec![[0.0f64; 4]; schemes.len()];
-
-    for b in &benches {
+    // One job per benchmark; fold the per-benchmark contributions in
+    // benchmark order so sums match a sequential run exactly.
+    let per_bench: Vec<Vec<[f64; 4]>> = run_jobs(benches.len(), |j| {
+        let b = &benches[j];
         let mp = MultiProgram::homogeneous(b, 4, ops, TRACE_SEED);
-        for (i, &s) in schemes.iter().enumerate() {
-            let r = run_workload(&mp, ExperimentParams::paper_4core(s, ops));
-            acc[i][0] += r.engine.kind_per_access(MetaKind::Mac);
-            acc[i][1] += r.engine.kind_per_access(MetaKind::Tree);
-            acc[i][2] += r.engine.kind_per_access(MetaKind::Parity);
-            acc[i][3] += r.engine.meta_per_access();
-        }
+        let contrib: Vec<[f64; 4]> = schemes
+            .iter()
+            .map(|&s| {
+                let r = run_workload(&mp, ExperimentParams::paper_4core(s, ops));
+                [
+                    r.engine.kind_per_access(MetaKind::Mac),
+                    r.engine.kind_per_access(MetaKind::Tree),
+                    r.engine.kind_per_access(MetaKind::Parity),
+                    r.engine.meta_per_access(),
+                ]
+            })
+            .collect();
         eprintln!("[{}: done]", b.name);
+        contrib
+    });
+    let mut acc = vec![[0.0f64; 4]; schemes.len()];
+    for contrib in &per_bench {
+        for (a, c) in acc.iter_mut().zip(contrib) {
+            for k in 0..4 {
+                a[k] += c[k];
+            }
+        }
     }
 
     let n = benches.len() as f64;

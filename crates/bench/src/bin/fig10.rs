@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig10 [ops]`
 
-use itesp_bench::{ops_from_env, print_table, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
 use itesp_core::Scheme;
 use itesp_sim::{run_workload, ExperimentParams, RunResult};
 use itesp_trace::{memory_intensive, MultiProgram};
@@ -24,18 +24,32 @@ fn main() {
     let ops = ops_from_env();
     let schemes = Scheme::FIGURE_8;
     let benches: Vec<_> = memory_intensive().collect();
-    let mut energy: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    let mut edp: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-
-    for b in &benches {
+    // One job per benchmark; refill the per-scheme series in benchmark
+    // order so the geomeans match a sequential run exactly.
+    let per_bench: Vec<Vec<(f64, f64)>> = run_jobs(benches.len(), |j| {
+        let b = &benches[j];
         let mp = MultiProgram::homogeneous(b, 4, ops, TRACE_SEED);
         let base = run_workload(&mp, ExperimentParams::paper_4core(Scheme::Unsecure, ops));
-        for (i, &s) in schemes.iter().enumerate() {
-            let r = run_workload(&mp, ExperimentParams::paper_4core(s, ops));
-            energy[i].push(r.normalized_memory_energy(&base));
-            edp[i].push(r.normalized_system_edp(&base, 4));
-        }
+        let contrib: Vec<(f64, f64)> = schemes
+            .iter()
+            .map(|&s| {
+                let r = run_workload(&mp, ExperimentParams::paper_4core(s, ops));
+                (
+                    r.normalized_memory_energy(&base),
+                    r.normalized_system_edp(&base, 4),
+                )
+            })
+            .collect();
         eprintln!("[{}: done]", b.name);
+        contrib
+    });
+    let mut energy: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    let mut edp: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for contrib in &per_bench {
+        for (i, &(e, d)) in contrib.iter().enumerate() {
+            energy[i].push(e);
+            edp[i].push(d);
+        }
     }
 
     let rows: Vec<Row> = schemes

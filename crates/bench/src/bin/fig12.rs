@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig12 [ops]`
 
-use itesp_bench::{ops_from_env, print_table, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
 use itesp_core::Scheme;
 use itesp_sim::{run_workload, ExperimentParams, RunResult};
 use itesp_trace::{memory_intensive, MultiProgram};
@@ -38,16 +38,25 @@ fn main() {
             }
         };
         for scheme in [Scheme::Synergy, Scheme::Itesp] {
-            let mut t = Vec::new();
-            let mut e = Vec::new();
-            let mut d = Vec::new();
-            for b in &benches {
+            // One job per benchmark, folded back in benchmark order.
+            let per_bench: Vec<(f64, f64, f64)> = run_jobs(benches.len(), |j| {
+                let b = &benches[j];
                 let mp = MultiProgram::homogeneous(b, cores, ops, TRACE_SEED);
                 let base = run_workload(&mp, params(Scheme::Unsecure));
                 let r = run_workload(&mp, params(scheme));
-                t.push(r.normalized_time(&base));
-                e.push(r.normalized_memory_energy(&base));
-                d.push(r.normalized_system_edp(&base, cores));
+                (
+                    r.normalized_time(&base),
+                    r.normalized_memory_energy(&base),
+                    r.normalized_system_edp(&base, cores),
+                )
+            });
+            let mut t = Vec::new();
+            let mut e = Vec::new();
+            let mut d = Vec::new();
+            for &(ti, ei, di) in &per_bench {
+                t.push(ti);
+                e.push(ei);
+                d.push(di);
             }
             rows.push(Row {
                 config: label.to_owned(),

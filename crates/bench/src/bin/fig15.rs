@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig15 [ops]`
 
-use itesp_bench::{ops_from_env, print_table, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
 use itesp_core::Scheme;
 use itesp_dram::AddressMapping;
 use itesp_sim::{run_workload, ExperimentParams, RunResult};
@@ -31,28 +31,44 @@ fn main() {
     let ops = ops_from_env();
     let benches: Vec<_> = memory_intensive().collect();
 
-    #[allow(clippy::type_complexity)] // (mapping, improvements, miss rates, row hits)
-    let mut per_mapping: Vec<(AddressMapping, Vec<f64>, Vec<f64>, Vec<f64>)> = AddressMapping::ALL
-        .iter()
-        .map(|&m| (m, Vec::new(), Vec::new(), Vec::new()))
-        .collect();
-
-    for b in &benches {
+    // One job per benchmark; fold the per-mapping series in benchmark
+    // order so the geomeans match a sequential run exactly.
+    let per_bench: Vec<Vec<(f64, f64, f64)>> = run_jobs(benches.len(), |j| {
+        let b = &benches[j];
         let mp = MultiProgram::homogeneous(b, 4, ops, TRACE_SEED);
         // Synergy's best mapping is Column (consecutive lines share a row).
         let mut syn_p = ExperimentParams::paper_4core(Scheme::Synergy, ops);
         syn_p.mapping = AddressMapping::Column;
         let synergy = run_workload(&mp, syn_p);
 
-        for (m, impr, miss, rbh) in &mut per_mapping {
-            let mut p = ExperimentParams::paper_4core(Scheme::Itesp, ops);
-            p.mapping = *m;
-            let r = run_workload(&mp, p);
-            impr.push(synergy.cycles as f64 / r.cycles as f64);
-            miss.push(1.0 - r.metadata_cache.hit_rate());
-            rbh.push(r.dram.row_hit_rate());
-        }
+        let contrib: Vec<(f64, f64, f64)> = AddressMapping::ALL
+            .iter()
+            .map(|&m| {
+                let mut p = ExperimentParams::paper_4core(Scheme::Itesp, ops);
+                p.mapping = m;
+                let r = run_workload(&mp, p);
+                (
+                    synergy.cycles as f64 / r.cycles as f64,
+                    1.0 - r.metadata_cache.hit_rate(),
+                    r.dram.row_hit_rate(),
+                )
+            })
+            .collect();
         eprintln!("[{}: done]", b.name);
+        contrib
+    });
+
+    #[allow(clippy::type_complexity)] // (mapping, improvements, miss rates, row hits)
+    let mut per_mapping: Vec<(AddressMapping, Vec<f64>, Vec<f64>, Vec<f64>)> = AddressMapping::ALL
+        .iter()
+        .map(|&m| (m, Vec::new(), Vec::new(), Vec::new()))
+        .collect();
+    for contrib in &per_bench {
+        for ((_, impr, miss, rbh), &(i, mi, rb)) in per_mapping.iter_mut().zip(contrib) {
+            impr.push(i);
+            miss.push(mi);
+            rbh.push(rb);
+        }
     }
 
     let rows: Vec<Row> = per_mapping

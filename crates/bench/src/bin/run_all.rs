@@ -1,38 +1,69 @@
 //! Regenerate every table and figure in sequence.
 //!
-//! Run: `cargo run --release -p itesp-bench --bin run_all [ops]`
-//! Outputs land on stdout and under `results/`.
+//! Run: `cargo run --release -p itesp-bench --bin run_all [ops] [--jobs N]`
+//! All arguments (the ops count and `--jobs`/`-j`) are forwarded to each
+//! child regenerator. Outputs land on stdout and under `results/`;
+//! per-target wall-clock times are written to `results/run_all_summary.json`.
 
 use std::process::Command;
+use std::time::Instant;
+
+use itesp_bench::save_json;
+use serde::Serialize;
 
 const TARGETS: &[&str] = &[
     "tab01", "tab02", "fig02", "fig03", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12",
     "fig13", "fig15",
 ];
 
+#[derive(Serialize)]
+struct TargetReport {
+    target: String,
+    seconds: f64,
+    status: String,
+}
+
 fn main() {
-    let ops = std::env::args().nth(1);
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("exe directory");
+    let mut reports = Vec::new();
     let mut failures = Vec::new();
     for t in TARGETS {
         println!("\n================ {t} ================");
         let mut cmd = Command::new(dir.join(t));
-        if let Some(ops) = &ops {
-            cmd.arg(ops);
-        }
-        match cmd.status() {
-            Ok(s) if s.success() => {}
+        cmd.args(&forwarded);
+        let start = Instant::now();
+        let status = match cmd.status() {
+            Ok(s) if s.success() => "ok".to_owned(),
             Ok(s) => {
                 eprintln!("{t} exited with {s}");
                 failures.push(*t);
+                format!("exit {}", s.code().map_or(-1, |c| c))
             }
             Err(e) => {
                 eprintln!("{t} failed to launch: {e} (build with --release first)");
                 failures.push(*t);
+                "launch failed".to_owned()
             }
-        }
+        };
+        let seconds = start.elapsed().as_secs_f64();
+        println!("[{t}: {seconds:.2}s]");
+        reports.push(TargetReport {
+            target: (*t).to_owned(),
+            seconds,
+            status,
+        });
     }
+
+    println!("\nWall-clock per target:");
+    for r in &reports {
+        println!("  {:<8} {:>8.2}s  {}", r.target, r.seconds, r.status);
+    }
+    let total: f64 = reports.iter().map(|r| r.seconds).sum();
+    println!("  {:<8} {total:>8.2}s", "total");
+    save_json("run_all_summary", &reports);
+
     if failures.is_empty() {
         println!("\nAll {} regenerators completed.", TARGETS.len());
     } else {

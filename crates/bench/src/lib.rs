@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use serde::Serialize;
 
@@ -22,16 +23,121 @@ use itesp_trace::{MultiProgram, PAGE_BYTES};
 /// Memory operations per program for quick regeneration runs.
 pub const DEFAULT_OPS: usize = 20_000;
 
-/// Trace length per program: `ITESP_OPS` env var, first CLI arg, or
-/// [`DEFAULT_OPS`].
-pub fn ops_from_env() -> usize {
-    if let Some(v) = std::env::args().nth(1).and_then(|s| s.parse().ok()) {
-        return v;
+/// Command-line arguments shared by every regenerator binary: an
+/// optional positional operation count plus `--jobs N` / `-j N`.
+struct CliArgs {
+    ops: Option<String>,
+    jobs: Option<String>,
+}
+
+fn parse_cli() -> CliArgs {
+    let mut out = CliArgs {
+        ops: None,
+        jobs: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" || a == "-j" {
+            match args.next() {
+                Some(v) => out.jobs = Some(v),
+                None => {
+                    eprintln!("error: {a} requires a value (worker thread count)");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            out.jobs = Some(v.to_owned());
+        } else if out.ops.is_none() {
+            out.ops = Some(a);
+        } else {
+            eprintln!("error: unexpected argument {a:?} (usage: [ops] [--jobs N])");
+            std::process::exit(2);
+        }
     }
-    std::env::var("ITESP_OPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_OPS)
+    out
+}
+
+fn parse_positive(value: &str, what: &str, source: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(v) if v > 0 => v,
+        Ok(_) => {
+            eprintln!("error: {what} from {source} must be greater than zero (got {value:?})");
+            std::process::exit(2);
+        }
+        Err(_) => {
+            eprintln!("error: invalid {what} from {source}: {value:?} is not a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Trace length per program: first CLI arg, `ITESP_OPS` env var, or
+/// [`DEFAULT_OPS`]. Exits with a clear error on non-numeric or zero
+/// input rather than silently falling back.
+pub fn ops_from_env() -> usize {
+    if let Some(v) = parse_cli().ops {
+        return parse_positive(&v, "operation count", "the command line");
+    }
+    match std::env::var("ITESP_OPS") {
+        Ok(v) => parse_positive(&v, "operation count", "ITESP_OPS"),
+        Err(_) => DEFAULT_OPS,
+    }
+}
+
+/// Worker threads for [`run_jobs`]: `--jobs`/`-j` CLI flag, `ITESP_JOBS`
+/// env var, or the machine's available parallelism. Exits with a clear
+/// error on non-numeric or zero input.
+pub fn jobs_from_env() -> usize {
+    if let Some(v) = parse_cli().jobs {
+        return parse_positive(&v, "job count", "the command line");
+    }
+    match std::env::var("ITESP_JOBS") {
+        Ok(v) => parse_positive(&v, "job count", "ITESP_JOBS"),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Fan `n` independent jobs across [`jobs_from_env`] worker threads and
+/// return their results **in input order**, so parallel runs produce
+/// byte-identical output to sequential ones.
+///
+/// Each worker pulls the next job index from a shared counter; `f` must
+/// therefore be deterministic per index (every regenerator's simulations
+/// are). With one worker (or one job) this degenerates to a plain
+/// in-thread loop.
+pub fn run_jobs<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs_from_env().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("worker thread panicked"));
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
 }
 
 /// Shared RNG seed so every figure sees the same traces.
@@ -131,7 +237,14 @@ mod tests {
     }
 
     #[test]
-    fn default_ops_is_positive() {
-        assert!(DEFAULT_OPS > 0);
+    fn run_jobs_preserves_input_order() {
+        let out = run_jobs(64, |i| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_handles_empty_and_single() {
+        assert_eq!(run_jobs(0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_jobs(1, |i| i + 7), vec![7]);
     }
 }

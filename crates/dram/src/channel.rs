@@ -4,16 +4,208 @@
 //! The scheduler issues at most one command per DRAM cycle (command-bus
 //! limit). Reads are prioritized; writes drain in batches between a
 //! high and a low watermark, as in USIMM's baseline scheduler.
+//!
+//! # Performance structure
+//!
+//! This is the optimized hot path; [`crate::reference::ReferenceChannel`]
+//! is the straight-line executable specification it must match
+//! command-for-command (checked by the `scheduler_equivalence` property
+//! test). Two mechanisms make it fast without changing behavior:
+//!
+//! * **Per-bank indexed queues** ([`RequestQueue`]): requests live in a
+//!   reusable slab and are indexed both globally (age order, by a
+//!   monotonically increasing sequence number) and per bank
+//!   (oldest-first). Pass 1 of FR-FCFS only inspects banks that have
+//!   pending requests, and the quadratic "does an older request still
+//!   want this open row" check of pass 2 becomes a single age-order walk
+//!   with per-bank marks. Removal is an ordered slab free, not a `Vec`
+//!   shift.
+//! * **Next-event skipping**: whenever a tick issues nothing, the
+//!   channel computes a lower bound on the next cycle at which *any*
+//!   command could issue (earliest CAS/PRE/ACT per pending request, the
+//!   next refresh deadline, and the next write-drain flag flip) and
+//!   early-returns from `tick` until then. Channel state is frozen
+//!   between events, so the skipped ticks are provably no-ops and the
+//!   command stream is identical to ticking every cycle.
 
 use crate::bank::{BankState, RankState};
-use crate::command::{ChannelStats, Completion, Request};
-use crate::config::DramConfig;
+use crate::command::{ChannelStats, Command, Completion, IssuedCommand, Request};
+use crate::config::{DramConfig, DramTiming};
 
 /// State of the shared data bus: last burst's rank and end time.
 #[derive(Debug, Clone, Copy, Default)]
 struct DataBus {
     free_at: u64,
     last_rank: Option<u32>,
+}
+
+/// One occupied or free slab entry.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    req: Request,
+    /// Queue-local age stamp; strictly increases across pushes, so a
+    /// `(slot, seq)` pair uniquely names one request even after the slot
+    /// is recycled.
+    seq: u64,
+    live: bool,
+}
+
+/// Age-ordered request storage with per-bank index lists.
+///
+/// Requests sit in a slab (`slots` + `free`); `order` holds
+/// `(slot, seq)` pairs in arrival order with lazy tombstones (an entry
+/// is stale once its slot is freed or recycled, detected by the `seq`
+/// mismatch), and `by_bank` keeps an oldest-first slot list per bank so
+/// the scheduler can find row-hit candidates without scanning the whole
+/// queue. `active` lists the banks with pending requests so sparse
+/// queues don't pay for the full bank count.
+#[derive(Debug)]
+struct RequestQueue {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    order: Vec<(u32, u64)>,
+    /// Stale entries currently in `order`; compacted when it outgrows
+    /// the live population.
+    stale: usize,
+    by_bank: Vec<Vec<u32>>,
+    active: Vec<u32>,
+    /// Position of each bank in `active`, `u32::MAX` when absent.
+    active_pos: Vec<u32>,
+    len: usize,
+    cap: usize,
+    next_seq: u64,
+}
+
+impl RequestQueue {
+    fn new(cap: usize, nbanks: usize) -> Self {
+        RequestQueue {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            order: Vec::with_capacity(cap),
+            stale: 0,
+            by_bank: vec![Vec::new(); nbanks],
+            active: Vec::new(),
+            active_pos: vec![u32::MAX; nbanks],
+            len: 0,
+            cap,
+            next_seq: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn has_space(&self) -> bool {
+        self.len < self.cap
+    }
+
+    /// Append a request (its `bank_index` must already be set). Returns
+    /// `false` if the queue is at capacity.
+    fn push(&mut self, req: Request) -> bool {
+        if self.len >= self.cap {
+            return false;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Slot {
+            req,
+            seq,
+            live: true,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = entry;
+                s
+            }
+            None => {
+                self.slots.push(entry);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.order.push((slot, seq));
+        let b = req.bank_index as usize;
+        if self.by_bank[b].is_empty() {
+            self.active_pos[b] = self.active.len() as u32;
+            self.active.push(b as u32);
+        }
+        self.by_bank[b].push(slot);
+        self.len += 1;
+        true
+    }
+
+    /// Ordered removal: frees the slab slot, unlinks the bank list entry,
+    /// and leaves a tombstone in `order` for lazy compaction.
+    fn remove(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.live);
+        s.live = false;
+        let b = s.req.bank_index as usize;
+        let list = &mut self.by_bank[b];
+        let pos = list
+            .iter()
+            .position(|&x| x == slot)
+            .expect("slot present in its bank list");
+        list.remove(pos);
+        if list.is_empty() {
+            let ap = self.active_pos[b] as usize;
+            self.active.swap_remove(ap);
+            if ap < self.active.len() {
+                self.active_pos[self.active[ap] as usize] = ap as u32;
+            }
+            self.active_pos[b] = u32::MAX;
+        }
+        self.free.push(slot);
+        self.len -= 1;
+        self.stale += 1;
+        if self.stale > self.len + 8 {
+            let slots = &self.slots;
+            self.order
+                .retain(|&(s, q)| slots[s as usize].live && slots[s as usize].seq == q);
+            self.stale = 0;
+        }
+    }
+
+    fn order_len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn order_at(&self, i: usize) -> (u32, u64) {
+        self.order[i]
+    }
+
+    fn is_live(&self, slot: u32, seq: u64) -> bool {
+        let s = &self.slots[slot as usize];
+        s.live && s.seq == seq
+    }
+
+    fn req(&self, slot: u32) -> &Request {
+        &self.slots[slot as usize].req
+    }
+
+    fn req_mut(&mut self, slot: u32) -> &mut Request {
+        &mut self.slots[slot as usize].req
+    }
+
+    fn seq(&self, slot: u32) -> u64 {
+        self.slots[slot as usize].seq
+    }
+
+    fn active_banks(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// Oldest pending request in `bank` targeting `row`, if any.
+    fn oldest_with_row(&self, bank: usize, row: u32) -> Option<u32> {
+        self.by_bank[bank]
+            .iter()
+            .copied()
+            .find(|&s| self.slots[s as usize].req.coords.row == row)
+    }
 }
 
 /// A single DRAM channel with its controller queues.
@@ -23,11 +215,19 @@ pub struct Channel {
     banks: Vec<BankState>,
     ranks: Vec<RankState>,
     bus: DataBus,
-    read_q: Vec<Request>,
-    write_q: Vec<Request>,
+    read_q: RequestQueue,
+    write_q: RequestQueue,
     draining_writes: bool,
     stats: ChannelStats,
     completions: Vec<Completion>,
+    cmd_log: Option<Vec<IssuedCommand>>,
+    /// Lower bound on the next cycle at which any command can issue;
+    /// `tick` is a no-op before it. Reset on enqueue and fast-forward.
+    next_wake: u64,
+    /// Per-bank generation stamps backing the "an older request wants
+    /// this open row" marks; bumping `mark_gen` clears all marks in O(1).
+    mark_gen: u64,
+    marks: Vec<u64>,
 }
 
 impl Channel {
@@ -42,22 +242,51 @@ impl Channel {
             banks: vec![BankState::default(); nbanks],
             ranks,
             bus: DataBus::default(),
-            read_q: Vec::with_capacity(cfg.queues.read_queue),
-            write_q: Vec::with_capacity(cfg.queues.write_queue),
+            read_q: RequestQueue::new(cfg.queues.read_queue, nbanks),
+            write_q: RequestQueue::new(cfg.queues.write_queue, nbanks),
             draining_writes: false,
             stats: ChannelStats::default(),
             completions: Vec::new(),
+            cmd_log: None,
+            next_wake: 0,
+            mark_gen: 0,
+            marks: vec![0; nbanks],
+        }
+    }
+
+    /// Start recording every issued command (including refreshes).
+    pub fn enable_cmd_log(&mut self) {
+        self.cmd_log = Some(Vec::new());
+    }
+
+    /// Drain the recorded command log.
+    pub fn take_cmd_log(&mut self) -> Vec<IssuedCommand> {
+        self.cmd_log.take().map_or_else(Vec::new, |log| {
+            self.cmd_log = Some(Vec::new());
+            log
+        })
+    }
+
+    fn log_cmd(&mut self, cycle: u64, cmd: Command, rank: u32, bank: u32, row: u32) {
+        if let Some(log) = &mut self.cmd_log {
+            log.push(IssuedCommand {
+                cycle,
+                cmd,
+                rank,
+                bank,
+                row,
+            });
         }
     }
 
     /// True if the read queue can accept another request.
     pub fn read_queue_has_space(&self) -> bool {
-        self.read_q.len() < self.cfg.queues.read_queue
+        self.read_q.has_space()
     }
 
     /// True if the write queue can accept another request.
     pub fn write_queue_has_space(&self) -> bool {
-        self.write_q.len() < self.cfg.queues.write_queue
+        self.write_q.has_space()
     }
 
     /// Current occupancies `(reads, writes)`.
@@ -67,21 +296,18 @@ impl Channel {
 
     /// Enqueue a request. Returns `false` (and drops it) if the relevant
     /// queue is full; callers are expected to check for space first.
-    pub fn enqueue(&mut self, req: Request) -> bool {
+    pub fn enqueue(&mut self, mut req: Request) -> bool {
+        req.bank_index = req.coords.rank * self.cfg.geometry.banks_per_rank + req.coords.bank;
         let q = if req.is_write {
             &mut self.write_q
         } else {
             &mut self.read_q
         };
-        let cap = if req.is_write {
-            self.cfg.queues.write_queue
-        } else {
-            self.cfg.queues.read_queue
-        };
-        if q.len() >= cap {
+        if !q.push(req) {
             return false;
         }
-        q.push(req);
+        // New work may be schedulable immediately.
+        self.next_wake = 0;
         true
     }
 
@@ -100,8 +326,12 @@ impl Channel {
     }
 
     /// Advance one DRAM cycle: handle refresh, pick and issue at most one
-    /// command.
+    /// command. Cycles before the precomputed wake time are no-ops and
+    /// return immediately.
     pub fn tick(&mut self, now: u64) {
+        if now < self.next_wake {
+            return;
+        }
         self.handle_refresh(now);
 
         let q = &self.cfg.queues;
@@ -116,24 +346,54 @@ impl Channel {
         }
 
         let serve_writes = self.draining_writes || self.read_q.is_empty();
-        if serve_writes && !self.write_q.is_empty() {
-            self.schedule(now, true);
+        let queue_wake = if serve_writes && !self.write_q.is_empty() {
+            self.schedule(now, true)
         } else if !self.read_q.is_empty() {
-            self.schedule(now, false);
-        }
+            self.schedule(now, false)
+        } else {
+            Some(u64::MAX)
+        };
+        self.next_wake = match queue_wake {
+            // A command issued; state changed, so re-evaluate next cycle.
+            None => now + 1,
+            Some(qw) => {
+                // If the drain flag is not at a fixed point for the
+                // current queue lengths, it flips next tick; don't skip
+                // over that.
+                let flag = self.draining_writes;
+                let qcfg = &self.cfg.queues;
+                let next_flag = if flag {
+                    self.write_q.len() > qcfg.write_low_watermark
+                } else {
+                    self.write_q.len() >= qcfg.write_high_watermark
+                        || (self.read_q.is_empty() && !self.write_q.is_empty())
+                };
+                if next_flag != flag {
+                    now + 1
+                } else {
+                    let mut wake = qw;
+                    for rank in &self.ranks {
+                        wake = wake.min(rank.next_refresh);
+                    }
+                    wake.max(now + 1)
+                }
+            }
+        };
     }
 
     /// Process refreshes in bulk when the channel has been idle and the
     /// caller jumps time forward from `from` to `to`.
     pub fn fast_forward(&mut self, to: u64) {
         let t = self.cfg.timing;
-        for rank in &mut self.ranks {
-            while rank.next_refresh <= to {
-                let deadline = rank.next_refresh;
-                rank.refresh(deadline, &t);
+        for r in 0..self.ranks.len() {
+            while self.ranks[r].next_refresh <= to {
+                let deadline = self.ranks[r].next_refresh;
+                self.ranks[r].refresh(deadline, &t);
                 self.stats.refreshes += 1;
+                self.log_cmd(deadline, Command::Refresh, r as u32, 0, 0);
             }
         }
+        self.next_wake = 0;
     }
 
     /// Refresh model: at the per-rank deadline, force-close the rank's
@@ -141,8 +401,8 @@ impl Channel {
     fn handle_refresh(&mut self, now: u64) {
         let t = self.cfg.timing;
         let banks_per_rank = self.cfg.geometry.banks_per_rank as usize;
-        for (r, rank) in self.ranks.iter_mut().enumerate() {
-            if now >= rank.next_refresh {
+        for r in 0..self.ranks.len() {
+            if now >= self.ranks[r].next_refresh {
                 for b in 0..banks_per_rank {
                     let bank = &mut self.banks[r * banks_per_rank + b];
                     if bank.open_row.is_some() {
@@ -151,66 +411,125 @@ impl Channel {
                     }
                     bank.next_activate = bank.next_activate.max(now + t.t_rfc);
                 }
-                rank.refresh(now, &t);
+                self.ranks[r].refresh(now, &t);
                 self.stats.refreshes += 1;
+                self.log_cmd(now, Command::Refresh, r as u32, 0, 0);
             }
         }
     }
 
     /// FR-FCFS over the selected queue: issue a row-hit CAS if possible,
-    /// otherwise make progress (ACT/PRE) for the oldest serviceable request.
-    fn schedule(&mut self, now: u64, writes: bool) {
-        // Pass 1: oldest request whose row is open and whose CAS can issue.
-        let hit = self.queue(writes).iter().position(|req| {
-            let bank = &self.banks[self.bank_index(req)];
-            bank.open_row == Some(req.coords.row) && self.cas_allowed(req, now)
-        });
-        if let Some(pos) = hit {
-            let req = self.queue(writes)[pos];
+    /// otherwise make progress (ACT/PRE) for the oldest serviceable
+    /// request.
+    ///
+    /// Returns `None` if a command issued, or `Some(wake)` — the earliest
+    /// cycle at which any of the queue's pending requests could make
+    /// progress (`u64::MAX` if none are schedulable) — computed for free
+    /// during the same two passes. The bound is exact for the frozen
+    /// state between events, so skipping to it never changes behavior.
+    fn schedule(&mut self, now: u64, writes: bool) -> Option<u64> {
+        let mut wake = u64::MAX;
+        let t = self.cfg.timing;
+
+        // Pass 1: oldest request whose row is open and whose CAS can
+        // issue. Only banks with pending requests are inspected; within a
+        // bank the oldest row-matching request stands in for all of them,
+        // because CAS legality depends only on the bank, rank, and
+        // direction — uniform across one bank of one queue.
+        let mut best: Option<(u64, u32)> = None;
+        let q = self.queue(writes);
+        for &b in q.active_banks() {
+            let bi = b as usize;
+            let Some(open) = self.banks[bi].open_row else {
+                continue;
+            };
+            let Some(slot) = q.oldest_with_row(bi, open) else {
+                continue;
+            };
+            let req = q.req(slot);
+            let cas_at = earliest_cas(
+                &t,
+                &self.banks[bi],
+                &self.ranks[req.coords.rank as usize],
+                &self.bus,
+                req,
+            );
+            if cas_at <= now {
+                let seq = q.seq(slot);
+                if best.is_none_or(|(bs, _)| seq < bs) {
+                    best = Some((seq, slot));
+                }
+            } else {
+                wake = wake.min(cas_at);
+            }
+        }
+        if let Some((_, slot)) = best {
+            let req = *self.queue(writes).req(slot);
             self.issue_cas(&req, now, !req.caused_row_miss);
-            self.queue_mut(writes).remove(pos);
-            return;
+            self.queue_mut(writes).remove(slot);
+            return None;
         }
 
-        // Pass 2: for requests in age order, open the needed row.
-        // At most one command per cycle.
-        let len = self.queue(writes).len();
-        for pos in 0..len {
-            let req = self.queue(writes)[pos];
-            let bi = self.bank_index(&req);
+        // Pass 2: for requests in age order, open the needed row. At most
+        // one command per cycle. A bank is marked once an older request
+        // targeting its open row has been seen, which replaces the
+        // reference scheduler's quadratic rescan per conflict; marked
+        // banks contribute no wake candidate because the older request's
+        // CAS (a pass-1 candidate) must happen before any precharge.
+        self.mark_gen += 1;
+        let gen = self.mark_gen;
+        for i in 0..self.queue(writes).order_len() {
+            let (slot, seq) = self.queue(writes).order_at(i);
+            if !self.queue(writes).is_live(slot, seq) {
+                continue;
+            }
+            let req = *self.queue(writes).req(slot);
+            let bi = req.bank_index as usize;
             match self.banks[bi].open_row {
-                Some(open) if open != req.coords.row => {
+                Some(open) if open == req.coords.row => {
+                    self.marks[bi] = gen;
+                }
+                Some(open) => {
                     // Conflict: precharge, but only if no older request
                     // still wants the open row (preserve row hits).
-                    let wanted = self
-                        .queue(writes)
-                        .iter()
-                        .take(pos)
-                        .any(|r| self.bank_index(r) == bi && r.coords.row == open);
-                    if !wanted && now >= self.banks[bi].next_precharge {
-                        self.banks[bi].precharge(now, &self.cfg.timing);
-                        self.stats.precharges += 1;
-                        self.queue_mut(writes)[pos].caused_row_miss = true;
-                        return;
+                    if self.marks[bi] != gen {
+                        if now >= self.banks[bi].next_precharge {
+                            self.banks[bi].precharge(now, &t);
+                            self.stats.precharges += 1;
+                            self.queue_mut(writes).req_mut(slot).caused_row_miss = true;
+                            self.log_cmd(now, Command::Precharge, req.coords.rank, bi as u32, open);
+                            return None;
+                        }
+                        wake = wake.min(self.banks[bi].next_precharge);
                     }
                 }
-                None if self.act_allowed(&req, now) => {
-                    let rank = req.coords.rank as usize;
-                    self.banks[bi].activate(req.coords.row, now, &self.cfg.timing);
-                    self.ranks[rank].activate(now, &self.cfg.timing);
-                    self.stats.activates += 1;
-                    self.queue_mut(writes)[pos].caused_row_miss = true;
-                    return;
-                }
-                _ => {
-                    // Row already open and matching but CAS not yet
-                    // allowed: nothing to do for this request.
+                None => {
+                    let act_at = self.banks[bi]
+                        .next_activate
+                        .max(self.ranks[req.coords.rank as usize].activate_allowed_at(&t));
+                    if act_at <= now {
+                        let rank = req.coords.rank as usize;
+                        self.banks[bi].activate(req.coords.row, now, &t);
+                        self.ranks[rank].activate(now, &t);
+                        self.stats.activates += 1;
+                        self.queue_mut(writes).req_mut(slot).caused_row_miss = true;
+                        self.log_cmd(
+                            now,
+                            Command::Activate,
+                            req.coords.rank,
+                            bi as u32,
+                            req.coords.row,
+                        );
+                        return None;
+                    }
+                    wake = wake.min(act_at);
                 }
             }
         }
+        Some(wake)
     }
 
-    fn queue(&self, writes: bool) -> &Vec<Request> {
+    fn queue(&self, writes: bool) -> &RequestQueue {
         if writes {
             &self.write_q
         } else {
@@ -218,7 +537,7 @@ impl Channel {
         }
     }
 
-    fn queue_mut(&mut self, writes: bool) -> &mut Vec<Request> {
+    fn queue_mut(&mut self, writes: bool) -> &mut RequestQueue {
         if writes {
             &mut self.write_q
         } else {
@@ -226,50 +545,10 @@ impl Channel {
         }
     }
 
-    fn bank_index(&self, req: &Request) -> usize {
-        (req.coords.rank * self.cfg.geometry.banks_per_rank + req.coords.bank) as usize
-    }
-
-    /// Can this request's column access issue at `now`?
-    fn cas_allowed(&self, req: &Request, now: u64) -> bool {
-        let t = &self.cfg.timing;
-        let bank = &self.banks[self.bank_index(req)];
-        let rank = &self.ranks[req.coords.rank as usize];
-        if now < rank.ready_at {
-            return false;
-        }
-        let cmd_ok = if req.is_write {
-            now >= bank.next_write && now >= rank.next_write
-        } else {
-            now >= bank.next_read && now >= rank.next_read
-        };
-        if !cmd_ok {
-            return false;
-        }
-        // Data-bus availability.
-        let start = now + if req.is_write { t.t_cwd } else { t.t_cas };
-        if start < self.bus.free_at {
-            return false;
-        }
-        if let Some(last) = self.bus.last_rank {
-            if last != req.coords.rank && start < self.bus.free_at + t.t_rtrs {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Can an ACT for this request issue at `now`?
-    fn act_allowed(&self, req: &Request, now: u64) -> bool {
-        let bank = &self.banks[self.bank_index(req)];
-        let rank = &self.ranks[req.coords.rank as usize];
-        now >= bank.next_activate && now >= rank.activate_allowed_at(&self.cfg.timing)
-    }
-
     /// Issue the column access and record its completion.
     fn issue_cas(&mut self, req: &Request, now: u64, row_hit: bool) {
         let t = self.cfg.timing;
-        let bi = self.bank_index(req);
+        let bi = req.bank_index as usize;
         let rank = req.coords.rank as usize;
         let (start, finish) = if req.is_write {
             self.banks[bi].write(now, &t);
@@ -292,6 +571,12 @@ impl Channel {
         } else {
             self.stats.row_misses += 1;
         }
+        let cmd = if req.is_write {
+            Command::Write
+        } else {
+            Command::Read
+        };
+        self.log_cmd(now, cmd, req.coords.rank, bi as u32, req.coords.row);
         self.completions.push(Completion {
             id: req.id,
             is_write: req.is_write,
@@ -299,6 +584,32 @@ impl Channel {
             arrival: req.arrival,
         });
     }
+}
+
+/// Earliest cycle at which `req`'s column access passes every
+/// `cas_allowed` check, given frozen bank/rank/bus state. Each check is
+/// of the form `now >= X` (the bus checks after moving the burst latency
+/// to the left-hand side), so the earliest legal cycle is their max.
+fn earliest_cas(
+    t: &DramTiming,
+    bank: &BankState,
+    rank: &RankState,
+    bus: &DataBus,
+    req: &Request,
+) -> u64 {
+    let lat = if req.is_write { t.t_cwd } else { t.t_cas };
+    let cmd_ready = if req.is_write {
+        bank.next_write.max(rank.next_write)
+    } else {
+        bank.next_read.max(rank.next_read)
+    };
+    let mut bus_ready = bus.free_at.saturating_sub(lat);
+    if let Some(last) = bus.last_rank {
+        if last != req.coords.rank {
+            bus_ready = bus_ready.max((bus.free_at + t.t_rtrs).saturating_sub(lat));
+        }
+    }
+    rank.ready_at.max(cmd_ready).max(bus_ready)
 }
 
 #[cfg(test)]
@@ -472,5 +783,42 @@ mod tests {
             max_finish < serial,
             "banks did not overlap: {max_finish} vs serial {serial}"
         );
+    }
+
+    #[test]
+    fn slab_slots_recycle_across_waves() {
+        // Several full capacity waves through the same queue: slot reuse,
+        // tombstone compaction, and the active-bank list must all stay
+        // consistent, and every request must complete exactly once.
+        let (mut ch, dec) = setup();
+        let cap = DramConfig::table_iii().queues.read_queue as u64;
+        let mut now = 0;
+        let mut total = 0u64;
+        for wave in 0..4u64 {
+            for i in 0..cap {
+                let addr = (wave * cap + i) * BLOCK_BYTES * 131;
+                assert!(ch.enqueue(req(&dec, wave * cap + i, addr, false, now)));
+            }
+            let (done, end) = run_until_idle(&mut ch, now);
+            total += done.len() as u64;
+            now = end;
+        }
+        assert_eq!(total, 4 * cap);
+        assert_eq!(ch.stats().reads, 4 * cap);
+    }
+
+    #[test]
+    fn idle_ticks_after_wake_computation_are_noops() {
+        // After draining, a long idle stretch must still refresh on
+        // schedule (next_wake covers refresh deadlines).
+        let (mut ch, dec) = setup();
+        ch.enqueue(req(&dec, 1, 0, false, 0));
+        let (_, end) = run_until_idle(&mut ch, 0);
+        let t = DramConfig::table_iii().timing;
+        let horizon = end + 2 * t.t_refi;
+        for now in end..horizon {
+            ch.tick(now);
+        }
+        assert!(ch.stats().refreshes >= 16);
     }
 }

@@ -30,6 +30,10 @@ pub struct Request {
     /// Set by the scheduler when this request forced a PRE or ACT, so its
     /// eventual column access is accounted as a row miss.
     pub(crate) caused_row_miss: bool,
+    /// Flat `rank * banks_per_rank + bank` index within the channel,
+    /// computed once at enqueue so the scheduler's hot loops never
+    /// re-derive it from the coordinates.
+    pub(crate) bank_index: u32,
 }
 
 impl Request {
@@ -47,8 +51,26 @@ impl Request {
             is_write,
             arrival,
             caused_row_miss: false,
+            bank_index: 0,
         }
     }
+}
+
+/// One command issued on the command bus, as recorded by the optional
+/// per-channel command log (used by the scheduler-equivalence tests and
+/// available for debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IssuedCommand {
+    /// DRAM cycle the command issued.
+    pub cycle: u64,
+    pub cmd: Command,
+    pub rank: u32,
+    /// Flat bank index within the channel (0 for `Refresh`, which is
+    /// rank-wide).
+    pub bank: u32,
+    /// Row operated on (ACT: opened row; PRE: closed row; RD/WR: open
+    /// row; Refresh: 0).
+    pub row: u32,
 }
 
 /// A finished request: data fully transferred on the bus.

@@ -36,14 +36,16 @@ pub mod channel;
 pub mod command;
 pub mod config;
 pub mod power;
+pub mod reference;
 
 pub use address::{AddressDecoder, AddressMapping, DecodedAddr};
 pub use channel::Channel;
-pub use command::{ChannelStats, Command, Completion, Request, RequestId};
+pub use command::{ChannelStats, Command, Completion, IssuedCommand, Request, RequestId};
 pub use config::{
     DramConfig, DramGeometry, DramTiming, PowerParams, QueueConfig, BLOCK_BYTES, BLOCK_SHIFT,
 };
 pub use power::{energy_for_run, EnergyBreakdown};
+pub use reference::ReferenceChannel;
 
 /// Error returned when a controller queue cannot accept a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -90,11 +90,11 @@ fn figure_2_interference_lowers_utilization() {
         let mut engine = SecurityEngine::new(cfg);
         let mut maps: Vec<HashMap<u64, u64>> = vec![HashMap::new(); mp.copies()];
         for i in 0..mp.traces[0].len() {
-            for prog in 0..mp.copies() {
+            for (prog, map) in maps.iter_mut().enumerate() {
                 let r = mp.traces[prog][i];
                 let page = r.paddr / PAGE_BYTES;
-                let next = maps[prog].len() as u64;
-                let leaf = *maps[prog].entry(page).or_insert(next);
+                let next = map.len() as u64;
+                let leaf = *map.entry(page).or_insert(next);
                 let eb = leaf * 64 + (r.paddr % PAGE_BYTES) / 64;
                 engine.on_access(prog, r.paddr, eb, r.is_write());
             }

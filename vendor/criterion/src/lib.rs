@@ -1,0 +1,225 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!` —
+//! with a simple calibrated wall-clock measurement loop instead of
+//! criterion's statistical machinery. Results print as
+//! `name  time: <mean> ns/iter (<iters> iters)` plus derived
+//! throughput when configured.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark (after calibration).
+const TARGET: Duration = Duration::from_millis(400);
+/// Calibration time used to size the measurement batch.
+const CALIBRATION: Duration = Duration::from_millis(60);
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier; builds from strings or parameters.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in CALIBRATION?
+        let start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while start.elapsed() < CALIBRATION {
+            std::hint::black_box(f());
+            calibration_iters += 1;
+        }
+        let per_iter = CALIBRATION.as_nanos() as f64 / calibration_iters.max(1) as f64;
+        let batch = ((TARGET.as_nanos() as f64 / per_iter).ceil() as u64).max(1);
+        let timed = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        let elapsed = timed.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / batch as f64;
+        self.iters = batch;
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let human = |ns: f64| -> String {
+        if ns < 1_000.0 {
+            format!("{ns:.1} ns")
+        } else if ns < 1_000_000.0 {
+            format!("{:.2} µs", ns / 1_000.0)
+        } else if ns < 1_000_000_000.0 {
+            format!("{:.2} ms", ns / 1_000_000.0)
+        } else {
+            format!("{:.2} s", ns / 1_000_000_000.0)
+        }
+    };
+    let mut line = format!(
+        "{name:<50} time: {:>12}/iter ({} iters)",
+        human(b.mean_ns),
+        b.iters
+    );
+    if let Some(t) = throughput {
+        let per_sec = |units: u64| units as f64 * (1e9 / b.mean_ns);
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(
+                    "  thrpt: {:.1} MiB/s",
+                    per_sec(n) / (1024.0 * 1024.0)
+                ));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:.1} Melem/s", per_sec(n) / 1e6));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F, In: ?Sized>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` call sites.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

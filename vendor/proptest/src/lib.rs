@@ -1,0 +1,380 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's API this workspace uses:
+//! the [`proptest!`] macro, [`Strategy`] for ranges / tuples / `Just` /
+//! `any::<T>()`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop::array::uniform32`, `prop::sample::Index`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics
+//! with its inputs via the normal assert message), and cases are
+//! generated from a deterministic per-test seed so failures reproduce
+//! exactly. The case count honors `PROPTEST_CASES` (default 64).
+
+use std::marker::PhantomData;
+
+/// Deterministic generator driving all strategies (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from the test name and case index so every test gets an
+    /// independent, reproducible stream.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut x = h;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 64).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()` support: uniform over the whole domain.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Strategy adapter for [`Arbitrary`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform strategy over every value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                if lo as i128 == <$t>::MIN as i128 && hi as i128 == <$t>::MAX as i128 {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Weighted-free union of boxed strategies (`prop_oneof!` backend).
+pub struct Union<V> {
+    pub options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.options.is_empty(), "empty prop_oneof!");
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Sub-modules mirroring `proptest::prop`.
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: core::ops::Range<usize>,
+        }
+
+        /// `vec(strategy, min..max)`: vectors with length in the range.
+        pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.len.clone().generate(rng);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        pub struct Uniform32<S>(S);
+
+        /// `[S::Value; 32]` with independently drawn elements.
+        pub fn uniform32<S: Strategy>(elem: S) -> Uniform32<S> {
+            Uniform32(elem)
+        }
+
+        impl<S: Strategy> Strategy for Uniform32<S>
+        where
+            S::Value: Copy + Default,
+        {
+            type Value = [S::Value; 32];
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let mut out = [S::Value::default(); 32];
+                for slot in &mut out {
+                    *slot = self.0.generate(rng);
+                }
+                out
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::{Arbitrary, TestRng};
+
+        /// An index into a collection whose size is only known at use.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Map onto `0..len`.
+            ///
+            /// # Panics
+            /// Panics if `len == 0`, as in real proptest.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, Strategy, TestRng,
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `PROPTEST_CASES` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let cases = $crate::case_count();
+                for case in 0..cases {
+                    let mut __proptest_rng =
+                        $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg =
+                        $crate::Strategy::generate(&($strat), &mut __proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Choose uniformly among the given strategies (all yielding the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(Box::new($strat)),+];
+        $crate::Union { options }
+    }};
+}
+
+/// Assert within a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 10u64..20, y in 0u8..=255, v in prop::collection::vec(0u32..5, 1..10)) {
+            prop_assert!((10..20).contains(&x));
+            let _ = y;
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn oneof_and_assume(pick in prop_oneof![Just(1u8), Just(2u8)], raw in 0u8..10) {
+            prop_assume!(raw != 0);
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert_ne!(raw, 0);
+        }
+
+        #[test]
+        fn tuples_and_index(pair in (0u64..100, any::<bool>()), idx in any::<prop::sample::Index>()) {
+            prop_assert!(pair.0 < 100);
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+}

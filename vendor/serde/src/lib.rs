@@ -1,0 +1,311 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the slice of serde's surface the workspace uses: derivable
+//! [`Serialize`] / [`Deserialize`] and enough impls to serialize the
+//! result structs the figure regenerators dump as JSON.
+//!
+//! Instead of serde's full visitor data model, [`Serialize`] writes
+//! compact JSON directly into a `String`; `serde_json` pretty-prints
+//! that. The derive macro (in `serde_derive`) emits externally-tagged
+//! enum encodings, matching real serde's JSON output shape.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialize `self` as compact JSON appended to `out`.
+pub trait Serialize {
+    fn json(&self, out: &mut String);
+}
+
+/// Marker trait: real serde's `Deserialize` is derived throughout the
+/// workspace but never exercised (nothing parses JSON back). The derive
+/// emits an empty impl so the derives keep compiling.
+pub trait Deserialize {}
+
+/// Escape and append a JSON string literal.
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], *self as i128));
+            }
+        }
+    )*};
+}
+impl_ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+/// Fast-enough integer formatting without allocating.
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    if neg {
+        v = -v;
+    }
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).unwrap()
+}
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json(&self, out: &mut String) {
+                if self.is_finite() {
+                    let s = format!("{self}");
+                    out.push_str(&s);
+                    // serde_json always renders floats with a decimal
+                    // point or exponent; mimic that for stability.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn json(&self, out: &mut String) {
+        write_json_str(&self.to_string(), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json(&self, out: &mut String) {
+        (**self).json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn json(&self, out: &mut String) {
+        (**self).json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Map keys must render as JSON strings.
+pub trait SerializeKey {
+    fn key(&self, out: &mut String);
+}
+
+impl SerializeKey for String {
+    fn key(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl SerializeKey for str {
+    fn key(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl<K: SerializeKey + ?Sized> SerializeKey for &K {
+    fn key(&self, out: &mut String) {
+        (**self).key(out);
+    }
+}
+
+macro_rules! impl_key_int {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn key(&self, out: &mut String) {
+                out.push('"');
+                Serialize::json(self, out);
+                out.push('"');
+            }
+        }
+    )*};
+}
+impl_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: SerializeKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            k.key(out);
+            out.push(':');
+            v.json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: SerializeKey + Ord + std::hash::Hash,
+    V: Serialize,
+    S: std::hash::BuildHasher,
+{
+    fn json(&self, out: &mut String) {
+        // Deterministic output: emit in sorted key order.
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            k.key(out);
+            out.push(':');
+            self[k].json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn primitives_render() {
+        let mut s = String::new();
+        42u64.json(&mut s);
+        s.push(' ');
+        (-3i32).json(&mut s);
+        s.push(' ');
+        true.json(&mut s);
+        s.push(' ');
+        1.5f64.json(&mut s);
+        s.push(' ');
+        2.0f64.json(&mut s);
+        assert_eq!(s, "42 -3 true 1.5 2.0");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let mut s = String::new();
+        "a\"b\\c\n".json(&mut s);
+        assert_eq!(s, r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn seqs_and_options() {
+        let mut s = String::new();
+        vec![1u8, 2, 3].json(&mut s);
+        s.push(' ');
+        Option::<u8>::None.json(&mut s);
+        assert_eq!(s, "[1,2,3] null");
+    }
+}

@@ -1,0 +1,316 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by
+//! hand-parsing the item's token stream (no `syn`/`quote` available
+//! offline). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * unit / newtype / tuple structs,
+//! * enums whose variants are unit, newtype, tuple, or struct-like,
+//!
+//! all without generics or `#[serde(...)]` attributes. The generated
+//! code targets the vendored `serde` facade's `Serialize { fn json }`
+//! trait and uses serde's externally-tagged JSON layout for enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => item.serialize_impl().parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => format!("impl serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut i = 0;
+        skip_attrs_and_vis(&tokens, &mut i);
+        let kind = match ident_at(&tokens, i) {
+            Some(k) if k == "struct" || k == "enum" => k,
+            _ => return Err("serde stub derive: expected struct or enum".into()),
+        };
+        i += 1;
+        let name = ident_at(&tokens, i).ok_or("serde stub derive: expected item name")?;
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Err(format!(
+                "serde stub derive: generic type {name} is not supported"
+            ));
+        }
+        let body = if kind == "struct" {
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Struct(Shape::Named(parse_named_fields(g.stream())?))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Struct(Shape::Tuple(count_top_level_fields(g.stream())))
+                }
+                _ => Body::Struct(Shape::Unit),
+            }
+        } else {
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Enum(parse_variants(g.stream())?)
+                }
+                _ => return Err("serde stub derive: enum without body".into()),
+            }
+        };
+        Ok(Item { name, body })
+    }
+
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Struct(shape) => struct_body(name, shape),
+            Body::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|(v, shape)| variant_arm(name, v, shape))
+                    .collect();
+                format!("match self {{ {arms} }}")
+            }
+        };
+        format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn json(&self, out: &mut String) {{ {body} }}\n\
+             }}"
+        )
+    }
+}
+
+fn struct_body(_name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "out.push_str(\"null\");".into(),
+        Shape::Named(fields) => {
+            let mut s = String::from("out.push('{');");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("out.push(',');");
+                }
+                s.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\"); serde::Serialize::json(&self.{f}, out);"
+                ));
+            }
+            s.push_str("out.push('}');");
+            s
+        }
+        Shape::Tuple(1) => "serde::Serialize::json(&self.0, out);".into(),
+        Shape::Tuple(n) => {
+            let mut s = String::from("out.push('[');");
+            for i in 0..*n {
+                if i > 0 {
+                    s.push_str("out.push(',');");
+                }
+                s.push_str(&format!("serde::Serialize::json(&self.{i}, out);"));
+            }
+            s.push_str("out.push(']');");
+            s
+        }
+    }
+}
+
+fn variant_arm(name: &str, variant: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => {
+            format!("{name}::{variant} => out.push_str(\"\\\"{variant}\\\"\"),")
+        }
+        Shape::Named(fields) => {
+            let binds = fields.join(", ");
+            let mut body = format!("out.push_str(\"{{\\\"{variant}\\\":{{\");");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\"); serde::Serialize::json({f}, out);"
+                ));
+            }
+            body.push_str("out.push_str(\"}}\");");
+            format!("{name}::{variant} {{ {binds} }} => {{ {body} }}")
+        }
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let mut body = format!("out.push_str(\"{{\\\"{variant}\\\":\");");
+            if *n == 1 {
+                body.push_str("serde::Serialize::json(f0, out);");
+            } else {
+                body.push_str("out.push('[');");
+                for (i, b) in binds.iter().enumerate() {
+                    if i > 0 {
+                        body.push_str("out.push(',');");
+                    }
+                    body.push_str(&format!("serde::Serialize::json({b}, out);"));
+                }
+                body.push_str("out.push(']');");
+            }
+            body.push_str("out.push('}');");
+            format!("{name}::{variant}({}) => {{ {body} }}", binds.join(", "))
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advance past leading `#[...]` attributes and visibility modifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named-field lists, returning field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => return Err(format!("serde stub derive: expected field name, got {t}")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("serde stub derive: expected ':' after field name".into()),
+        }
+        // Skip the type: consume until a top-level comma. Generic
+        // angle brackets contain no commas at *token* top level only
+        // inside groups, so track '<'/'>' depth explicitly.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Count top-level comma-separated fields of a tuple struct/variant.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing = false;
+    }
+    if trailing {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// Parse enum variants into (name, shape) pairs.
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Shape)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => return Err(format!("serde stub derive: expected variant, got {t}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_top_level_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}

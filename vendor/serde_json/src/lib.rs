@@ -1,0 +1,126 @@
+//! Offline stand-in for `serde_json`, covering the workspace's usage:
+//! [`to_string`] and [`to_string_pretty`] over the vendored `serde`
+//! facade. Pretty output matches serde_json's style (two-space indent,
+//! `": "` separators, `{}`/`[]` for empty containers).
+
+use serde::Serialize;
+
+/// Serialization error. The vendored facade is infallible, but the
+/// signature mirrors the real crate so call sites stay identical.
+#[derive(Debug)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to compact JSON.
+///
+/// # Errors
+/// Never fails with the vendored facade; `Result` mirrors serde_json.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.json(&mut out);
+    Ok(out)
+}
+
+/// Serialize to pretty-printed JSON (two-space indentation).
+///
+/// # Errors
+/// Never fails with the vendored facade; `Result` mirrors serde_json.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indent compact JSON. String-literal aware; assumes valid input
+/// (which the facade guarantees).
+fn prettify(compact: &str) -> String {
+    let bytes = compact.as_bytes();
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut i = 0;
+    let indent = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                let close = if c == '{' { b'}' } else { b']' };
+                if i + 1 < bytes.len() && bytes[i + 1] == close {
+                    out.push(c);
+                    out.push(close as char);
+                    i += 2;
+                    continue;
+                }
+                out.push(c);
+                depth += 1;
+                indent(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                indent(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                indent(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            _ => out.push(c),
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_formats_nested_structures() {
+        let v = vec![vec![1u8, 2], vec![]];
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "[\n  [\n    1,\n    2\n  ],\n  []\n]");
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        assert_eq!(to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn strings_with_braces_are_not_reindented() {
+        let s = to_string_pretty(&"a{b}c").unwrap();
+        assert_eq!(s, "\"a{b}c\"");
+    }
+}
