@@ -317,6 +317,32 @@ impl SecurityEngine {
         &self.stats
     }
 
+    /// The integrity-tree geometry in use, if the scheme has a tree.
+    pub fn geometry(&self) -> Option<&TreeGeometry> {
+        self.geo.as_ref()
+    }
+
+    /// Number of metadata partitions (one per enclave when isolated,
+    /// otherwise a single shared partition).
+    pub fn partitions(&self) -> usize {
+        self.regions.tree_bases.len()
+    }
+
+    /// Base physical address of partition `part`'s tree region.
+    pub fn tree_base(&self, part: usize) -> u64 {
+        self.regions.tree_bases[part]
+    }
+
+    /// Base physical address of partition `part`'s MAC region.
+    pub fn mac_base(&self, part: usize) -> u64 {
+        self.regions.mac_bases[part]
+    }
+
+    /// Base physical address of partition `part`'s parity region.
+    pub fn parity_base(&self, part: usize) -> u64 {
+        self.regions.parity_bases[part]
+    }
+
     /// Tree/counter metadata-cache statistics (merged across partitions).
     pub fn tree_cache_stats(&self) -> CacheStats {
         self.tree_cache
@@ -681,6 +707,26 @@ impl SecurityEngine {
     /// bookkeeping so dirty metadata is not silently dropped).
     pub fn drain(&mut self) -> Vec<MetaAccess> {
         let mut mem = Vec::new();
+        // The unified tree cache can also hold fallback shared-parity
+        // lines (embedding not viable); label those as parity on the way
+        // out, matching the eviction path in `process_writebacks`.
+        if let Some(pc) = &mut self.tree_cache {
+            for part in 0..pc.len() {
+                let parity_base = self.regions.parity_bases[part];
+                for addr in pc.partition_mut(part).flush() {
+                    let kind = if addr >= parity_base {
+                        MetaKind::Parity
+                    } else {
+                        MetaKind::Tree
+                    };
+                    mem.push(MetaAccess {
+                        addr,
+                        is_write: true,
+                        kind,
+                    });
+                }
+            }
+        }
         let mut flush = |c: &mut Option<PartitionedCache>, kind: MetaKind, rmw: bool| {
             if let Some(pc) = c {
                 for part in 0..pc.len() {
@@ -701,7 +747,6 @@ impl SecurityEngine {
                 }
             }
         };
-        flush(&mut self.tree_cache, MetaKind::Tree, false);
         flush(&mut self.mac_cache, MetaKind::Mac, false);
         let shared = matches!(self.spec.parity, ParityMode::Shared(_));
         flush(&mut self.parity_cache, MetaKind::Parity, shared);

@@ -92,6 +92,41 @@ mod tests {
         assert!((pct(itesp128.total()) - 0.8).abs() <= 0.1);
     }
 
+    /// Exact node counts at the 64 GB (2³⁰-block) evaluation span, so
+    /// any drift in the tree-geometry arithmetic is caught to the node,
+    /// not hidden inside a percentage tolerance.
+    #[test]
+    fn table_i_exact_values() {
+        assert_eq!(EVAL_BLOCKS, 1 << 30);
+
+        // VAULT: 64-ary leaf level, 32/16/.../16-ary above:
+        // 16,777,216 + 524,288 + 32,768 + 2,048 + 128 + 8 nodes.
+        let vault = TreeGeometry::vault(EVAL_BLOCKS);
+        assert_eq!(vault.total_nodes(), 17_336_456);
+        assert_eq!(vault.storage_bytes(), 17_336_456 * 64);
+        assert_eq!(vault.storage_overhead(), 17_336_456.0 / EVAL_BLOCKS as f64);
+
+        // 128-ary organizations: 8,388,608 + 65,536 + 512 + 4.
+        assert_eq!(TreeGeometry::syn128(EVAL_BLOCKS).total_nodes(), 8_454_660);
+        assert_eq!(TreeGeometry::itesp128(EVAL_BLOCKS).total_nodes(), 8_454_660);
+        // ITESP64's 64-ary leaf level exactly doubles every level.
+        assert_eq!(TreeGeometry::itesp64(EVAL_BLOCKS).total_nodes(), 16_909_320);
+
+        // The MAC/parity columns are exact by construction.
+        let rows = table_i();
+        let mp = |n: &str| {
+            rows.iter()
+                .find(|r| r.organization == n)
+                .unwrap()
+                .mac_parity
+        };
+        assert_eq!(mp("VAULT"), 0.125);
+        assert_eq!(mp("Synergy128, x8 chips"), 0.125);
+        assert_eq!(mp("Synergy128, x16 chips"), 0.25);
+        assert_eq!(mp("ITESP64"), 0.0);
+        assert_eq!(mp("ITESP128"), 0.0);
+    }
+
     #[test]
     fn itesp_is_an_order_of_magnitude_smaller_than_synergy() {
         let rows = table_i();

@@ -279,6 +279,11 @@ impl Channel {
         }
     }
 
+    /// The configuration this channel was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
     /// True if the read queue can accept another request.
     pub fn read_queue_has_space(&self) -> bool {
         self.read_q.has_space()

@@ -170,6 +170,22 @@ impl MemorySystem {
         out
     }
 
+    /// Start recording every issued command on every channel.
+    pub fn enable_cmd_logs(&mut self) {
+        for ch in &mut self.channels {
+            ch.enable_cmd_log();
+        }
+    }
+
+    /// Drain the recorded command log of each channel (one entry per
+    /// channel, in channel order).
+    pub fn take_cmd_logs(&mut self) -> Vec<Vec<IssuedCommand>> {
+        self.channels
+            .iter_mut()
+            .map(Channel::take_cmd_log)
+            .collect()
+    }
+
     /// Merged statistics across channels.
     pub fn stats(&self) -> ChannelStats {
         let mut merged = ChannelStats::default();

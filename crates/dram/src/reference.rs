@@ -83,6 +83,11 @@ impl ReferenceChannel {
         }
     }
 
+    /// The configuration this channel was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
     /// True if the read queue can accept another request.
     pub fn read_queue_has_space(&self) -> bool {
         self.read_q.len() < self.cfg.queues.read_queue

@@ -1,0 +1,113 @@
+//! Chipkill fault-injection campaign support.
+//!
+//! Each trial builds a MAC-consistent codeword, injects one or more
+//! faults from [`itesp_reliability::Fault`], runs the chipkill
+//! verify-and-correct path, and classifies the result into the outcome
+//! classes of the Table II analytical model:
+//!
+//! * [`TrialOutcome::Corrected`] — the decoder identified a failed chip
+//!   and restored the original word (the model's premise: every
+//!   single-device error is correctable, after all 9 MAC trials);
+//! * [`TrialOutcome::Detected`] — the decoder refused to correct
+//!   (ambiguous or no MAC-matching candidate), the DUE class whose rate
+//!   Table II's Case 4 computes;
+//! * [`TrialOutcome::Silent`] — the decoder either declared a corrupted
+//!   word clean or "corrected" it to wrong data. This is the SDC class
+//!   (Table II Cases 1–3), whose 2⁻⁶⁴-scaled rates predict **zero**
+//!   occurrences at any campaign size this harness can run — so any
+//!   observed silent outcome is an oracle failure.
+
+use itesp_core::mac::{mac_block, MacKey};
+use itesp_reliability::{verify_and_correct, CodeWord, Correction, Fault};
+use rand::{Rng, RngCore};
+
+/// Everything needed to verify one codeword.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialWord {
+    pub word: CodeWord,
+    pub key: MacKey,
+    pub counter: u64,
+    pub addr: u64,
+}
+
+/// Build a random, MAC-consistent codeword (what an uncorrupted write
+/// would have stored).
+pub fn random_word<R: RngCore>(rng: &mut R) -> TrialWord {
+    let mut data = [0u8; 64];
+    rng.fill(&mut data[..]);
+    let key = MacKey {
+        k0: rng.gen(),
+        k1: rng.gen(),
+    };
+    let counter = rng.gen_range(1u64..1 << 40);
+    let addr = rng.gen_range(0u64..1 << 36) * 64;
+    let mac = mac_block(&key, &data, counter, addr);
+    TrialWord {
+        word: CodeWord::new(data, mac),
+        key,
+        counter,
+        addr,
+    }
+}
+
+/// Classified result of one injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// Restored the original word, naming `chip` after `mac_trials`
+    /// reconstruction attempts.
+    Corrected { chip: u8, mac_trials: u8 },
+    /// Detected but not corrected (ambiguous or uncorrectable).
+    Detected,
+    /// Declared clean, or corrected to the wrong data: silent corruption.
+    Silent,
+}
+
+/// Run verify-and-correct on a (possibly corrupted) word and classify
+/// the outcome against the pristine original.
+pub fn classify(original: &CodeWord, trial: &TrialWord, parity: u64) -> TrialOutcome {
+    let (correction, fixed) =
+        verify_and_correct(&trial.word, parity, &trial.key, trial.counter, trial.addr);
+    match correction {
+        Correction::Clean => {
+            if trial.word == *original {
+                // Nothing was actually corrupted (possible when an
+                // injection is XOR-cancelled); treat as a correct pass.
+                TrialOutcome::Corrected {
+                    chip: u8::MAX,
+                    mac_trials: 0,
+                }
+            } else {
+                TrialOutcome::Silent
+            }
+        }
+        Correction::Corrected { chip, mac_trials } => {
+            if fixed == *original {
+                TrialOutcome::Corrected { chip, mac_trials }
+            } else {
+                TrialOutcome::Silent
+            }
+        }
+        Correction::Ambiguous | Correction::Uncorrectable => TrialOutcome::Detected,
+    }
+}
+
+/// All 27 deterministic (fault class × chip) single-fault patterns, the
+/// exhaustive sweep the campaign runs before its randomized trials.
+pub fn exhaustive_single_faults(beat: u8, pin: u8) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for chip in 0..itesp_reliability::TOTAL_CHIPS as u8 {
+        faults.push(Fault::Bit { chip, beat, pin });
+        faults.push(Fault::Pin { chip, pin });
+        faults.push(Fault::Chip { chip });
+    }
+    faults
+}
+
+/// Short label for campaign failure messages.
+pub fn fault_label(f: &Fault) -> String {
+    match f {
+        Fault::Bit { chip, beat, pin } => format!("bit(chip {chip}, beat {beat}, pin {pin})"),
+        Fault::Pin { chip, pin } => format!("pin(chip {chip}, pin {pin})"),
+        Fault::Chip { chip } => format!("chip({chip})"),
+    }
+}

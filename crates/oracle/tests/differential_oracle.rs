@@ -1,0 +1,134 @@
+//! Analytic-vs-functional differential oracle over every scheme.
+//!
+//! Randomized access streams drive the `itesp-core` traffic engine and
+//! the functional `VerifiedMemory` in lockstep; the harness cross-checks
+//! tree-walk footprints, miss-case classification, counter values,
+//! overflow events, and region containment on every access (see
+//! `itesp_oracle::differential` for the full assertion list).
+
+use itesp_core::{EngineConfig, Scheme};
+use itesp_oracle::{with_seeds, DifferentialHarness};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every design point in `core::scheme`.
+const ALL_SCHEMES: [Scheme; 13] = [
+    Scheme::Unsecure,
+    Scheme::Vault,
+    Scheme::ItVault,
+    Scheme::Synergy,
+    Scheme::ItSynergy,
+    Scheme::ItSynergyParityCache,
+    Scheme::ItSynergySharedParity,
+    Scheme::ItSynergySharedParityCache,
+    Scheme::Itesp,
+    Scheme::Syn128,
+    Scheme::ItSyn128,
+    Scheme::Itesp64,
+    Scheme::Itesp128,
+];
+
+/// Blocks per enclave in the functional memory. Small enough that the
+/// stream revisits blocks (exercising counters, cache hits, and
+/// evictions), large enough to span several tree leaves.
+const BLOCKS: u64 = 1 << 12;
+
+fn drive(scheme: Scheme, seed: u64, accesses: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut harness = DifferentialHarness::new(scheme, BLOCKS);
+    for _ in 0..accesses {
+        let enclave = rng.gen_range(0usize..4);
+        // Mix a hot working set (locality: cache hits, repeated writes
+        // to the same leaf) with cold uniform traffic.
+        let block = if rng.gen_bool(0.7) {
+            rng.gen_range(0u64..256)
+        } else {
+            rng.gen_range(0u64..BLOCKS)
+        };
+        let is_write = rng.gen_bool(0.5);
+        let fill = rng.gen::<u8>();
+        harness.access(enclave, block, is_write, fill);
+    }
+    harness.finish();
+}
+
+/// The main sweep: every scheme, randomized streams, seed-replayable.
+#[test]
+fn differential_random_streams_all_schemes() {
+    with_seeds("differential_random_streams_all_schemes", 6, |seed| {
+        for scheme in ALL_SCHEMES {
+            drive(scheme, seed, 1500);
+        }
+    });
+}
+
+/// Column-style mapping (rank stride 1024) defeats ITESP's parity
+/// embedding; the fallback external-parity path must still satisfy the
+/// oracle (region containment, walk prefixes, counter agreement).
+#[test]
+fn differential_itesp_embedding_fallback() {
+    with_seeds("differential_itesp_embedding_fallback", 4, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = EngineConfig::paper_default(Scheme::Itesp);
+        cfg.model_overflow = true;
+        cfg.rank_stride_blocks = 1024;
+        let mut harness = DifferentialHarness::with_config(Scheme::Itesp, cfg, BLOCKS);
+        let mut saw_parity = false;
+        for _ in 0..1200 {
+            let enclave = rng.gen_range(0usize..4);
+            let block = rng.gen_range(0u64..BLOCKS);
+            let is_write = rng.gen_bool(0.6);
+            harness.access(enclave, block, is_write, rng.gen::<u8>());
+            saw_parity |= harness.engine().stats().meta_writes
+                [itesp_core::MetaKind::Parity.index()]
+                > 0
+                || harness.engine().stats().meta_reads[itesp_core::MetaKind::Parity.index()] > 0;
+        }
+        assert!(
+            saw_parity,
+            "fallback parity path produced no parity traffic"
+        );
+        harness.finish();
+    });
+}
+
+/// Dense same-leaf writes overflow the small local counters; engine
+/// overflow events and stalls must track the independent shadow
+/// tracker exactly (checked per access inside the harness).
+#[test]
+fn differential_overflow_heavy_writes() {
+    for scheme in [
+        Scheme::Itesp,
+        Scheme::Itesp64,
+        Scheme::Itesp128,
+        Scheme::Vault,
+    ] {
+        let mut harness = DifferentialHarness::new(scheme, BLOCKS);
+        for i in 0..2000u64 {
+            // Hammer a handful of blocks under the same few leaves.
+            harness.access(0, i % 8, true, (i % 251) as u8);
+        }
+        let overflows = harness.engine().stats().overflows;
+        harness.finish();
+        assert!(
+            overflows > 0,
+            "{scheme:?}: write hammer produced no overflows"
+        );
+    }
+}
+
+/// Sequential deterministic sweep: every scheme accepts a full pass over
+/// the address space with reads verifying after writes.
+#[test]
+fn differential_sequential_sweep() {
+    for scheme in ALL_SCHEMES {
+        let mut harness = DifferentialHarness::new(scheme, BLOCKS);
+        for block in 0..512u64 {
+            harness.access((block % 4) as usize, block, true, (block % 256) as u8);
+        }
+        for block in 0..512u64 {
+            harness.access((block % 4) as usize, block, false, 0);
+        }
+        harness.finish();
+    }
+}

@@ -1,0 +1,235 @@
+//! Randomized chipkill fault-injection campaign.
+//!
+//! Every trial injects faults from the `reliability::inject` model into
+//! a MAC-consistent codeword and checks the decode outcome against the
+//! Table II outcome classes: single-chip-confined faults (bit, pin,
+//! whole chip) must be corrected back to the original word; multi-chip
+//! faults must be *detected* (the Case 4 DUE class), and nothing may
+//! ever be silent — Table II's SDC rates are 2⁻⁶⁴-scaled, so a single
+//! silent outcome at campaign scale is a decoder bug, not bad luck.
+//!
+//! Knobs: `ITESP_FAULT_TRIALS` scales the randomized trial count,
+//! `ITESP_TEST_SEED` replays one failing seed (printed on failure).
+
+use itesp_oracle::{
+    classify, exhaustive_single_faults, fault_label, random_word, with_seeds, TrialOutcome,
+};
+use itesp_reliability::{
+    column_parity, correct_shared, inject, shared_parity, table_ii, Correction, Design, Fault,
+    ReliabilityParams, TOTAL_CHIPS,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Randomized trials per seed (override with `ITESP_FAULT_TRIALS`).
+fn trials() -> usize {
+    std::env::var("ITESP_FAULT_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(384)
+}
+
+/// Single faults of every class on every chip — first the exhaustive
+/// 27-pattern sweep, then randomized bit positions and chip garbage —
+/// are always corrected, naming the faulted chip after all 9 MAC trials.
+#[test]
+fn fault_campaign_random_single_faults() {
+    with_seeds("fault_campaign_random_single_faults", 4, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sweep: Vec<Fault> = exhaustive_single_faults(rng.gen_range(0..8), rng.gen_range(0..8))
+            .into_iter()
+            .chain((0..trials()).map(|_| Fault::random(&mut rng)))
+            .collect();
+        for fault in sweep {
+            let original = random_word(&mut rng);
+            let parity = column_parity(&original.word);
+            let mut trial = original;
+            inject(&mut trial.word, fault, &mut rng);
+            match classify(&original.word, &trial, parity) {
+                TrialOutcome::Corrected { chip, mac_trials } => {
+                    assert_eq!(
+                        usize::from(chip),
+                        fault.chip(),
+                        "{}: corrected the wrong chip",
+                        fault_label(&fault)
+                    );
+                    assert_eq!(
+                        mac_trials,
+                        TOTAL_CHIPS as u8,
+                        "{}: correction skipped candidate chips",
+                        fault_label(&fault)
+                    );
+                }
+                outcome => panic!(
+                    "{}: single-chip fault must be corrected, got {outcome:?}",
+                    fault_label(&fault)
+                ),
+            }
+        }
+    });
+}
+
+/// Multiple faults confined to one chip are still a single-device error:
+/// corrected (or, if the injections XOR-cancel, a benign clean pass).
+#[test]
+fn fault_campaign_same_chip_multi_faults() {
+    with_seeds("fault_campaign_same_chip_multi_faults", 4, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..trials() {
+            let original = random_word(&mut rng);
+            let parity = column_parity(&original.word);
+            let chip = rng.gen_range(0..TOTAL_CHIPS as u8);
+            let mut trial = original;
+            let n_faults = rng.gen_range(2usize..5);
+            let mut faults = Vec::new();
+            for _ in 0..n_faults {
+                let mut f = Fault::random(&mut rng);
+                while f.chip() != usize::from(chip) {
+                    f = Fault::random(&mut rng);
+                }
+                faults.push(f);
+                inject(&mut trial.word, f, &mut rng);
+            }
+            match classify(&original.word, &trial, parity) {
+                TrialOutcome::Corrected { chip: c, .. } => assert!(
+                    c == chip || c == u8::MAX,
+                    "same-chip faults {faults:?}: corrected chip {c}, expected {chip}"
+                ),
+                outcome => {
+                    panic!("same-chip faults {faults:?} must stay correctable, got {outcome:?}")
+                }
+            }
+        }
+    });
+}
+
+/// Faults on two (or more) distinct chips exceed the code's correction
+/// power: the decoder must detect (Table II Case 4), never silently pass
+/// or miscorrect.
+#[test]
+fn fault_campaign_multi_chip_faults_detected() {
+    with_seeds("fault_campaign_multi_chip_faults_detected", 4, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..trials() {
+            let original = random_word(&mut rng);
+            let parity = column_parity(&original.word);
+            let mut trial = original;
+            let first = Fault::random(&mut rng);
+            inject(&mut trial.word, first, &mut rng);
+            let mut second = Fault::random(&mut rng);
+            while second.chip() == first.chip() {
+                second = Fault::random(&mut rng);
+            }
+            inject(&mut trial.word, second, &mut rng);
+            let outcome = classify(&original.word, &trial, parity);
+            assert_eq!(
+                outcome,
+                TrialOutcome::Detected,
+                "{} + {}: multi-chip fault must be a DUE",
+                fault_label(&first),
+                fault_label(&second)
+            );
+        }
+    });
+}
+
+/// ITESP's cross-rank shared parity: with error-free companion blocks
+/// the recovered per-block parity corrects any single-chip fault; with a
+/// companion corrupted too (the cross-rank double-error pattern whose
+/// rate Case 4 charges to ITESP's larger sharing domain), the decode
+/// must detect, never silently corrupt.
+#[test]
+fn fault_campaign_shared_parity_cross_rank() {
+    with_seeds("fault_campaign_shared_parity_cross_rank", 4, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..trials() / 4 {
+            let target = random_word(&mut rng);
+            let companions: Vec<_> = (0..rng.gen_range(1usize..8))
+                .map(|_| random_word(&mut rng).word)
+                .collect();
+            let shared = shared_parity(companions.iter().chain(std::iter::once(&target.word)));
+            let fault = Fault::random(&mut rng);
+            let mut corrupted = target.word;
+            inject(&mut corrupted, fault, &mut rng);
+
+            // Clean companions: correction succeeds through the shared word.
+            let (correction, fixed) = correct_shared(
+                &corrupted,
+                shared,
+                &companions,
+                &target.key,
+                target.counter,
+                target.addr,
+            );
+            match correction {
+                Correction::Corrected { chip, .. } => {
+                    assert_eq!(usize::from(chip), fault.chip(), "{}", fault_label(&fault));
+                    assert_eq!(fixed, target.word, "shared-parity correction wrong");
+                }
+                Correction::Clean => {
+                    assert_eq!(corrupted, target.word, "silently passed a corrupted word")
+                }
+                other => panic!("{}: shared-parity decode {other:?}", fault_label(&fault)),
+            }
+
+            // A simultaneously-corrupted companion poisons the recovered
+            // parity: decode must refuse, not fabricate data.
+            let mut bad_companions = companions.clone();
+            let victim = rng.gen_range(0..bad_companions.len());
+            inject(
+                &mut bad_companions[victim],
+                Fault::Chip {
+                    chip: rng.gen_range(0..TOTAL_CHIPS as u8),
+                },
+                &mut rng,
+            );
+            let (correction, fixed) = correct_shared(
+                &corrupted,
+                shared,
+                &bad_companions,
+                &target.key,
+                target.counter,
+                target.addr,
+            );
+            match correction {
+                Correction::Ambiguous | Correction::Uncorrectable => {}
+                Correction::Corrected { .. } => assert_eq!(
+                    fixed, target.word,
+                    "cross-rank double error miscorrected (SDC)"
+                ),
+                Correction::Clean => {
+                    assert_eq!(
+                        corrupted, target.word,
+                        "cross-rank double error passed clean"
+                    )
+                }
+            }
+        }
+    });
+}
+
+/// The campaign's observed outcome frequencies are consistent with the
+/// Table II analytical model: the SDC classes are MAC-collision scaled
+/// (expected silent events over the whole campaign ≈ trials × 2⁻⁶⁴ ≈ 0,
+/// and the campaign asserts exactly zero), and the correction loop's 9
+/// MAC trials match the model's `rank_devices`.
+#[test]
+fn fault_campaign_rates_match_table_ii() {
+    let p = ReliabilityParams::default();
+    for design in [Design::Synergy, Design::Itesp] {
+        let rates = table_ii(&p, design);
+        // SDC rates are vanishingly small: a campaign of any feasible
+        // size expects zero silent corruptions, which is exactly what
+        // the injection tests assert.
+        let per_event_sdc =
+            (rates.case1_sdc + rates.case2_sdc) / (f64::from(p.devices) * p.device_fit);
+        assert!(
+            per_event_sdc < 1e-15,
+            "{design:?}: SDC per device error {per_event_sdc:e} not collision-scaled"
+        );
+        // DUE rates are not: multi-chip patterns must be detectable, as
+        // the multi-chip campaign asserts on every trial.
+        assert!(rates.case4_due > 0.0);
+    }
+    assert_eq!(p.rank_devices as usize, TOTAL_CHIPS);
+}

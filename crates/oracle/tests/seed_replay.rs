@@ -1,0 +1,63 @@
+//! End-to-end check of the seed replay workflow.
+//!
+//! Lives in its own test binary: it mutates `ITESP_TEST_SEED` /
+//! `ITESP_TEST_CASES`, and the other oracle tests read those variables.
+//! Keeping a single `#[test]` here means no other test shares the
+//! process while the environment is dirty.
+
+use itesp_oracle::{seeds_for, with_seeds};
+
+#[test]
+fn seed_override_and_corpus_ordering() {
+    // Hold the env mutations to this test body; unset on every path.
+    std::env::remove_var("ITESP_TEST_SEED");
+    std::env::remove_var("ITESP_TEST_CASES");
+
+    // Corpus seeds come first, then deterministic fresh seeds derived
+    // from the test name.
+    let baseline = seeds_for("differential_random_streams_all_schemes", 5);
+    assert_eq!(baseline.len(), 6, "1 corpus entry + 5 fresh seeds");
+    assert_eq!(
+        baseline[0], 15868285386286196526,
+        "checked-in corpus seed must be replayed first"
+    );
+    assert_eq!(
+        baseline,
+        seeds_for("differential_random_streams_all_schemes", 5),
+        "seed schedule must be deterministic"
+    );
+    // Distinct tests get distinct fresh-seed schedules.
+    assert_ne!(
+        seeds_for("some_test", 4)[3],
+        seeds_for("another_test", 4)[3]
+    );
+
+    // ITESP_TEST_SEED pins the schedule to exactly that one seed,
+    // corpus included.
+    std::env::set_var("ITESP_TEST_SEED", "12345");
+    assert_eq!(
+        seeds_for("differential_random_streams_all_schemes", 5),
+        vec![12345]
+    );
+    let mut ran = Vec::new();
+    with_seeds("anything", 9, |s| ran.push(s));
+    assert_eq!(ran, vec![12345], "with_seeds must honor the override");
+    std::env::remove_var("ITESP_TEST_SEED");
+
+    // ITESP_TEST_CASES scales the fresh-seed count (corpus still first).
+    std::env::set_var("ITESP_TEST_CASES", "2");
+    let scaled = seeds_for("differential_random_streams_all_schemes", 64);
+    assert_eq!(scaled.len(), 3, "1 corpus entry + 2 fresh seeds");
+    assert_eq!(scaled[0], baseline[0]);
+    assert_eq!(scaled[1..], baseline[1..3]);
+    std::env::remove_var("ITESP_TEST_CASES");
+
+    // A failure inside with_seeds propagates (after printing the replay
+    // instructions) so the harness reports the test as failed.
+    let result = std::panic::catch_unwind(|| {
+        with_seeds("seed_replay_probe", 3, |seed| {
+            assert!(seed == u64::MAX, "forced failure");
+        })
+    });
+    assert!(result.is_err(), "with_seeds must propagate the panic");
+}

@@ -170,6 +170,32 @@ mod tests {
         assert!((ratio - 287.0 / 8.0).abs() < 1e-9);
     }
 
+    /// Exact closed-form pins: each rate reconstructed with the same
+    /// floating-point operation order must match bit-for-bit, so any
+    /// reformulation of the model is a visible, deliberate change — and
+    /// the numeric anchors pin the magnitudes Table II rounds.
+    #[test]
+    fn table_ii_exact_closed_forms() {
+        let p = defaults();
+        let collide = 2f64.powi(-64);
+        let window = 66.1 * (1.0 / 1e9);
+        for (design, peers) in [(Design::Synergy, 8.0), (Design::Itesp, 287.0)] {
+            let r = table_ii(&p, design);
+            let double = 288.0 * 66.1 * peers * window;
+            assert_eq!(r.case1_sdc, 288.0 * 66.1 * collide);
+            assert_eq!(r.case2_sdc, double * 9.0 * collide);
+            assert_eq!(r.case3_due, 288.0 * 66.1 * 8.0 * collide);
+            assert_eq!(r.case4_due, double);
+        }
+        let rel = |got: f64, want: f64| ((got - want) / want).abs();
+        let s = table_ii(&p, Design::Synergy);
+        let i = table_ii(&p, Design::Itesp);
+        assert!(rel(s.case1_sdc, 1.0320e-15) < 1e-4, "{:e}", s.case1_sdc);
+        assert!(rel(s.case3_due, 8.2560e-15) < 1e-4, "{:e}", s.case3_due);
+        assert!(rel(s.case4_due, 1.00667e-2) < 1e-4, "{:e}", s.case4_due);
+        assert!(rel(i.case4_due, 3.61141e-1) < 1e-4, "{:e}", i.case4_due);
+    }
+
     #[test]
     fn scrub_on_detect_recovers_orders_of_magnitude() {
         // Shrinking the window from 1 hour to ~3.6 seconds recovers the

@@ -13,7 +13,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use itesp_core::{EngineConfig, MetaAccess, SecurityEngine};
-use itesp_dram::{DramConfig, MemorySystem, RequestId};
+use itesp_dram::{DramConfig, IssuedCommand, MemorySystem, RequestId};
 use itesp_trace::{MemOp, MultiProgram, PhysRecord, PAGE_BYTES};
 
 use crate::stats::RunResult;
@@ -167,6 +167,23 @@ impl System {
     /// # Panics
     /// Panics if `max_cycles` is exceeded (deadlock guard).
     pub fn run(mut self) -> RunResult {
+        self.run_loop();
+        self.finish_run()
+    }
+
+    /// Like [`run`](Self::run), but records every DRAM command issued
+    /// during the run and returns the per-channel logs plus the last
+    /// DRAM cycle, so an external protocol checker can validate the
+    /// whole stack's command stream.
+    pub fn run_logged(mut self) -> (RunResult, Vec<Vec<IssuedCommand>>, u64) {
+        self.mem.enable_cmd_logs();
+        self.run_loop();
+        let logs = self.mem.take_cmd_logs();
+        let end = self.cycle.saturating_sub(1) / CPU_PER_DRAM_CYCLE;
+        (self.finish_run(), logs, end)
+    }
+
+    fn run_loop(&mut self) {
         let ncores = self.cores.len();
         let mut leaf_maps: Vec<HashMap<u64, u64>> = vec![HashMap::new(); ncores];
         let limit = if self.cfg.max_cycles == 0 {
@@ -205,8 +222,6 @@ impl System {
             self.try_fast_forward();
             self.cycle += 1;
         }
-
-        self.finish_run()
     }
 
     fn all_done(&self) -> bool {
