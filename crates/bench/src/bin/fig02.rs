@@ -6,15 +6,17 @@
 //! Paper's takeaway: utilization is on average ~2.1x lower in Large.
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig02 [ops]`
+//! (supports `--resume`, `--timeout`, `--retries`; see EXPERIMENTS.md)
 
-use itesp_bench::{engine_replay, ops_from_env, print_table, save_json, TRACE_SEED};
+use itesp_bench::{engine_replay, ops_from_env, print_table, run_campaign, save_json, TRACE_SEED};
 use itesp_core::{EngineConfig, Scheme};
 use itesp_trace::{FreeListModel, MultiProgram, BENCHMARKS};
 use serde::Serialize;
+use serde_json::FromValue;
 
-#[derive(Serialize)]
+#[derive(Serialize, FromValue)]
 struct Row {
-    benchmark: &'static str,
+    benchmark: String,
     hits_per_block_large: f64,
     hits_per_block_small: f64,
     ratio: f64,
@@ -23,8 +25,10 @@ struct Row {
 
 fn main() {
     let ops = ops_from_env();
-    let mut rows = Vec::new();
-    for b in BENCHMARKS {
+    // One checkpointed job per benchmark; a killed run resumes with
+    // `--resume`.
+    let rows: Vec<Row> = run_campaign("fig02", BENCHMARKS.len(), move |i| {
+        let b = &BENCHMARKS[i];
         let large_mp = MultiProgram::homogeneous(b, 4, ops, TRACE_SEED);
         let large = engine_replay(
             &large_mp,
@@ -57,14 +61,15 @@ fn main() {
         );
         let ul = large.metadata_cache.hits_per_block();
         let us = small.metadata_cache.hits_per_block();
-        rows.push(Row {
-            benchmark: b.name,
+        Row {
+            benchmark: b.name.to_owned(),
             hits_per_block_large: ul,
             hits_per_block_small: us,
             ratio: if ul > 0.0 { us / ul } else { f64::NAN },
             hit_rate_large: large.metadata_cache.hit_rate(),
-        });
-    }
+        }
+    })
+    .into_rows_or_exit();
 
     println!("Figure 2: metadata block utilization, Large vs Small (VAULT)");
     println!("({} ops/program)\n", ops);

@@ -9,16 +9,18 @@
 //! Large shifts mass toward the high-ancestor cases.
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig03 [ops]`
+//! (supports `--resume`, `--timeout`, `--retries`; see EXPERIMENTS.md)
 
-use itesp_bench::{engine_replay, ops_from_env, print_table, save_json, TRACE_SEED};
+use itesp_bench::{engine_replay, ops_from_env, print_table, run_campaign, save_json, TRACE_SEED};
 use itesp_core::{EngineConfig, MissCase, Scheme};
 use itesp_trace::{memory_intensive, FreeListModel, MultiProgram};
 use serde::Serialize;
+use serde_json::FromValue;
 
-#[derive(Serialize)]
+#[derive(Serialize, FromValue)]
 struct Row {
-    benchmark: &'static str,
-    model: &'static str,
+    benchmark: String,
+    model: String,
     /// Fractions per MissCase A..H.
     cases: [f64; 8],
 }
@@ -35,8 +37,11 @@ fn breakdown(mp: &MultiProgram, cfg: EngineConfig) -> [f64; 8] {
 
 fn main() {
     let ops = ops_from_env();
-    let mut rows = Vec::new();
-    for b in memory_intensive() {
+    let benches: Vec<_> = memory_intensive().collect();
+    // One checkpointed job per benchmark, producing its Large and Small
+    // rows; a killed run resumes with `--resume`.
+    let pairs: Vec<(Row, Row)> = run_campaign("fig03", benches.len(), move |i| {
+        let b = &benches[i];
         let large_mp = MultiProgram::homogeneous(b, 4, ops, TRACE_SEED);
         let large = breakdown(
             &large_mp,
@@ -51,11 +56,11 @@ fn main() {
                 rank_stride_blocks: 4,
             },
         );
-        rows.push(Row {
-            benchmark: b.name,
-            model: "Large",
+        let large_row = Row {
+            benchmark: b.name.to_owned(),
+            model: "Large".to_owned(),
             cases: large,
-        });
+        };
         // Small: a pristine single-tenant machine (sequential free list).
         let small_mp =
             MultiProgram::homogeneous_with_model(b, 1, ops, TRACE_SEED, FreeListModel::Sequential);
@@ -72,12 +77,15 @@ fn main() {
                 rank_stride_blocks: 4,
             },
         );
-        rows.push(Row {
-            benchmark: b.name,
-            model: "Small",
+        let small_row = Row {
+            benchmark: b.name.to_owned(),
+            model: "Small".to_owned(),
             cases: small,
-        });
-    }
+        };
+        (large_row, small_row)
+    })
+    .into_rows_or_exit();
+    let rows: Vec<Row> = pairs.into_iter().flat_map(|(l, s)| [l, s]).collect();
 
     println!("Figure 3: metadata access-pattern breakdown (VAULT), top-15 benchmarks");
     println!("({} ops/program)\n", ops);

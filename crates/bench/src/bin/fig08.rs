@@ -7,16 +7,18 @@
 //! shared parity alone loses (RMW); ITESP is the best of all bars.
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig08 [ops]`
+//! (supports `--resume`, `--timeout`, `--retries`; see EXPERIMENTS.md)
 
-use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_campaign, save_json, TRACE_SEED};
 use itesp_core::Scheme;
 use itesp_sim::{run_workload, ExperimentParams, RunResult};
 use itesp_trace::{MultiProgram, BENCHMARKS};
 use serde::Serialize;
+use serde_json::FromValue;
 
-#[derive(Serialize)]
+#[derive(Serialize, FromValue)]
 struct Row {
-    benchmark: &'static str,
+    benchmark: String,
     memory_intensive: bool,
     /// Normalized execution time per scheme, Figure 8 bar order.
     times: Vec<f64>,
@@ -26,9 +28,10 @@ fn main() {
     let ops = ops_from_env();
     let schemes = Scheme::FIGURE_8;
 
-    // One job per benchmark (its baseline plus every scheme); results
-    // come back in benchmark order regardless of worker count.
-    let rows: Vec<Row> = run_jobs(BENCHMARKS.len(), |i| {
+    // One checkpointed job per benchmark (its baseline plus every
+    // scheme); results come back in benchmark order regardless of
+    // worker count, and a killed run resumes with `--resume`.
+    let rows: Vec<Row> = run_campaign("fig08", BENCHMARKS.len(), move |i| {
         let b = &BENCHMARKS[i];
         let mp = MultiProgram::homogeneous(b, 4, ops, TRACE_SEED);
         let base = run_workload(&mp, ExperimentParams::paper_4core(Scheme::Unsecure, ops));
@@ -40,11 +43,12 @@ fn main() {
             .collect();
         eprintln!("[{}: done]", b.name);
         Row {
-            benchmark: b.name,
+            benchmark: b.name.to_owned(),
             memory_intensive: b.memory_intensive,
             times,
         }
-    });
+    })
+    .into_rows_or_exit();
 
     println!("Figure 8: normalized execution time (4 cores, 1 channel, {ops} ops/program)\n");
     let headers: Vec<&str> = std::iter::once("benchmark")

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig09 [ops]`
 
-use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_campaign, save_json, TRACE_SEED};
 use itesp_core::{MetaKind, Scheme};
 use itesp_sim::{run_workload, ExperimentParams};
 use itesp_trace::{memory_intensive, MultiProgram};
@@ -27,10 +27,12 @@ fn main() {
     let ops = ops_from_env();
     let schemes = Scheme::FIGURE_8;
     let benches: Vec<_> = memory_intensive().collect();
-    // One job per benchmark; fold the per-benchmark contributions in
-    // benchmark order so sums match a sequential run exactly.
-    let per_bench: Vec<Vec<[f64; 4]>> = run_jobs(benches.len(), |j| {
-        let b = &benches[j];
+    // One checkpointed job per benchmark; contributions fold in
+    // benchmark order so sums match a sequential run exactly, and a
+    // killed run resumes with `--resume`.
+    let job_benches = benches.clone();
+    let per_bench: Vec<Vec<[f64; 4]>> = run_campaign("fig09", benches.len(), move |j| {
+        let b = &job_benches[j];
         let mp = MultiProgram::homogeneous(b, 4, ops, TRACE_SEED);
         let contrib: Vec<[f64; 4]> = schemes
             .iter()
@@ -46,7 +48,8 @@ fn main() {
             .collect();
         eprintln!("[{}: done]", b.name);
         contrib
-    });
+    })
+    .into_rows_or_exit();
     let mut acc = vec![[0.0f64; 4]; schemes.len()];
     for contrib in &per_bench {
         for (a, c) in acc.iter_mut().zip(contrib) {

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig10 [ops]`
 
-use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_campaign, save_json, TRACE_SEED};
 use itesp_core::Scheme;
 use itesp_sim::{run_workload, ExperimentParams, RunResult};
 use itesp_trace::{memory_intensive, MultiProgram};
@@ -24,9 +24,10 @@ fn main() {
     let ops = ops_from_env();
     let schemes = Scheme::FIGURE_8;
     let benches: Vec<_> = memory_intensive().collect();
-    // One job per benchmark; refill the per-scheme series in benchmark
-    // order so the geomeans match a sequential run exactly.
-    let per_bench: Vec<Vec<(f64, f64)>> = run_jobs(benches.len(), |j| {
+    // One checkpointed job per benchmark; the per-scheme series refill
+    // in benchmark order so the geomeans match a sequential run
+    // exactly, and a killed run resumes with `--resume`.
+    let per_bench: Vec<Vec<(f64, f64)>> = run_campaign("fig10", benches.len(), move |j| {
         let b = &benches[j];
         let mp = MultiProgram::homogeneous(b, 4, ops, TRACE_SEED);
         let base = run_workload(&mp, ExperimentParams::paper_4core(Scheme::Unsecure, ops));
@@ -42,7 +43,8 @@ fn main() {
             .collect();
         eprintln!("[{}: done]", b.name);
         contrib
-    });
+    })
+    .into_rows_or_exit();
     let mut energy: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     let mut edp: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for contrib in &per_bench {

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig11 [ops]`
 
-use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_campaign, save_json, TRACE_SEED};
 use itesp_core::Scheme;
 use itesp_sim::{run_workload, ExperimentParams, RunResult};
 use itesp_trace::{memory_intensive, MultiProgram};
@@ -28,29 +28,32 @@ fn main() {
     let ops = ops_from_env();
     let schemes = Scheme::FIGURE_11;
     let benches: Vec<_> = memory_intensive().collect();
-    // One job per benchmark; fold per-scheme series and overflow sums in
-    // benchmark order so the output matches a sequential run exactly.
-    let per_bench: Vec<Vec<(f64, u64, u64, u64)>> = run_jobs(benches.len(), |j| {
-        let b = &benches[j];
-        let mp = MultiProgram::homogeneous(b, 8, ops, TRACE_SEED);
-        let base = run_workload(&mp, ExperimentParams::paper_8core(Scheme::Unsecure, ops));
-        let contrib: Vec<(f64, u64, u64, u64)> = schemes
-            .iter()
-            .map(|&s| {
-                let mut p = ExperimentParams::paper_8core(s, ops);
-                p.model_overflow = true;
-                let r = run_workload(&mp, p);
-                (
-                    r.normalized_time(&base),
-                    r.engine.overflows,
-                    r.engine.data_writes,
-                    r.engine.overflow_stall_cycles,
-                )
-            })
-            .collect();
-        eprintln!("[{}: done]", b.name);
-        contrib
-    });
+    // One checkpointed job per benchmark; per-scheme series and
+    // overflow sums fold in benchmark order so the output matches a
+    // sequential run exactly, and a killed run resumes with `--resume`.
+    let per_bench: Vec<Vec<(f64, u64, u64, u64)>> =
+        run_campaign("fig11", benches.len(), move |j| {
+            let b = &benches[j];
+            let mp = MultiProgram::homogeneous(b, 8, ops, TRACE_SEED);
+            let base = run_workload(&mp, ExperimentParams::paper_8core(Scheme::Unsecure, ops));
+            let contrib: Vec<(f64, u64, u64, u64)> = schemes
+                .iter()
+                .map(|&s| {
+                    let mut p = ExperimentParams::paper_8core(s, ops);
+                    p.model_overflow = true;
+                    let r = run_workload(&mp, p);
+                    (
+                        r.normalized_time(&base),
+                        r.engine.overflows,
+                        r.engine.data_writes,
+                        r.engine.overflow_stall_cycles,
+                    )
+                })
+                .collect();
+            eprintln!("[{}: done]", b.name);
+            contrib
+        })
+        .into_rows_or_exit();
     let mut times: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     let mut ofl = vec![(0u64, 0u64, 0u64); schemes.len()]; // overflows, writes, stall
     for contrib in &per_bench {

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig12 [ops]`
 
-use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_campaign, save_json, TRACE_SEED};
 use itesp_core::Scheme;
 use itesp_sim::{run_workload, ExperimentParams, RunResult};
 use itesp_trace::{memory_intensive, MultiProgram};
@@ -30,17 +30,21 @@ fn main() {
     let mut rows = Vec::new();
 
     for (cores, label) in [(4usize, "4 cores / 1 ch"), (8, "8 cores / 2 ch")] {
-        let params = |s| {
-            if cores == 4 {
-                ExperimentParams::paper_4core(s, ops)
-            } else {
-                ExperimentParams::paper_8core(s, ops)
-            }
-        };
         for scheme in [Scheme::Synergy, Scheme::Itesp] {
-            // One job per benchmark, folded back in benchmark order.
-            let per_bench: Vec<(f64, f64, f64)> = run_jobs(benches.len(), |j| {
-                let b = &benches[j];
+            // One checkpointed sub-campaign per (core count, scheme),
+            // one job per benchmark, folded back in benchmark order; a
+            // killed run resumes with `--resume`.
+            let target = format!("fig12.{cores}c.{}", scheme.label());
+            let job_benches = benches.clone();
+            let per_bench: Vec<(f64, f64, f64)> = run_campaign(&target, benches.len(), move |j| {
+                let params = |s| {
+                    if cores == 4 {
+                        ExperimentParams::paper_4core(s, ops)
+                    } else {
+                        ExperimentParams::paper_8core(s, ops)
+                    }
+                };
+                let b = &job_benches[j];
                 let mp = MultiProgram::homogeneous(b, cores, ops, TRACE_SEED);
                 let base = run_workload(&mp, params(Scheme::Unsecure));
                 let r = run_workload(&mp, params(scheme));
@@ -49,7 +53,8 @@ fn main() {
                     r.normalized_memory_energy(&base),
                     r.normalized_system_edp(&base, cores),
                 )
-            });
+            })
+            .into_rows_or_exit();
             let mut t = Vec::new();
             let mut e = Vec::new();
             let mut d = Vec::new();

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig13 [ops]`
 
-use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_campaign, save_json, TRACE_SEED};
 use itesp_core::Scheme;
 use itesp_sim::{run_workload, ExperimentParams, RunResult};
 use itesp_trace::{memory_intensive, MultiProgram};
@@ -29,9 +29,13 @@ fn main() {
 
     for kb in [8usize, 16, 32, 64] {
         for scheme in [Scheme::Synergy, Scheme::Itesp] {
-            // One job per benchmark, folded back in benchmark order.
-            let per_bench: Vec<(f64, f64, f64)> = run_jobs(benches.len(), |j| {
-                let b = &benches[j];
+            // One checkpointed sub-campaign per (cache size, scheme),
+            // one job per benchmark, folded back in benchmark order; a
+            // killed run resumes with `--resume`.
+            let target = format!("fig13.{kb}kb.{}", scheme.label());
+            let job_benches = benches.clone();
+            let per_bench: Vec<(f64, f64, f64)> = run_campaign(&target, benches.len(), move |j| {
+                let b = &job_benches[j];
                 let mp = MultiProgram::homogeneous(b, 4, ops, TRACE_SEED);
                 let base = run_workload(&mp, ExperimentParams::paper_4core(Scheme::Unsecure, ops));
                 let mut p = ExperimentParams::paper_4core(scheme, ops);
@@ -42,7 +46,8 @@ fn main() {
                     r.normalized_memory_energy(&base),
                     r.normalized_system_edp(&base, 4),
                 )
-            });
+            })
+            .into_rows_or_exit();
             let mut t = Vec::new();
             let mut e = Vec::new();
             let mut d = Vec::new();

@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run --release -p itesp-bench --bin fig15 [ops]`
 
-use itesp_bench::{ops_from_env, print_table, run_jobs, save_json, TRACE_SEED};
+use itesp_bench::{ops_from_env, print_table, run_campaign, save_json, TRACE_SEED};
 use itesp_core::Scheme;
 use itesp_dram::AddressMapping;
 use itesp_sim::{run_workload, ExperimentParams, RunResult};
@@ -31,9 +31,10 @@ fn main() {
     let ops = ops_from_env();
     let benches: Vec<_> = memory_intensive().collect();
 
-    // One job per benchmark; fold the per-mapping series in benchmark
-    // order so the geomeans match a sequential run exactly.
-    let per_bench: Vec<Vec<(f64, f64, f64)>> = run_jobs(benches.len(), |j| {
+    // One checkpointed job per benchmark; the per-mapping series fold
+    // in benchmark order so the geomeans match a sequential run
+    // exactly, and a killed run resumes with `--resume`.
+    let per_bench: Vec<Vec<(f64, f64, f64)>> = run_campaign("fig15", benches.len(), move |j| {
         let b = &benches[j];
         let mp = MultiProgram::homogeneous(b, 4, ops, TRACE_SEED);
         // Synergy's best mapping is Column (consecutive lines share a row).
@@ -56,7 +57,8 @@ fn main() {
             .collect();
         eprintln!("[{}: done]", b.name);
         contrib
-    });
+    })
+    .into_rows_or_exit();
 
     #[allow(clippy::type_complexity)] // (mapping, improvements, miss rates, row hits)
     let mut per_mapping: Vec<(AddressMapping, Vec<f64>, Vec<f64>, Vec<f64>)> = AddressMapping::ALL

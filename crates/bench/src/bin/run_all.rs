@@ -1,14 +1,22 @@
-//! Regenerate every table and figure in sequence.
+//! Regenerate every table and figure in sequence, resiliently.
 //!
-//! Run: `cargo run --release -p itesp-bench --bin run_all [ops] [--jobs N]`
-//! All arguments (the ops count and `--jobs`/`-j`) are forwarded to each
-//! child regenerator. Outputs land on stdout and under `results/`;
-//! per-target wall-clock times are written to `results/run_all_summary.json`.
+//! Run: `cargo run --release -p itesp-bench --bin run_all [ops] [--jobs N]
+//!        [--resume] [--timeout S] [--retries N]
+//!        [--target-timeout S] [--target-retries N]`
+//!
+//! All arguments except the `--target-*` pair are forwarded to each
+//! child regenerator. Each child runs under an optional wall-clock
+//! deadline (`--target-timeout` / `ITESP_TARGET_TIMEOUT`) and retry
+//! budget (`--target-retries` / `ITESP_TARGET_RETRIES`); retried
+//! children get `--resume` appended so completed jobs are not
+//! recomputed. A failing target does not stop the campaign — the run
+//! continues, the failure lands in `results/run_all_summary.json`, and
+//! the process exits nonzero at the end.
 
 use std::process::Command;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use itesp_bench::save_json;
+use itesp_bench::{save_json, target_retries_from_env, target_timeout_from_env};
 use serde::Serialize;
 
 const TARGETS: &[&str] = &[
@@ -21,38 +29,125 @@ struct TargetReport {
     target: String,
     seconds: f64,
     status: String,
+    attempts: u32,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    targets: Vec<TargetReport>,
+    failures: Vec<String>,
+}
+
+enum TargetStatus {
+    Ok,
+    Exit(i32),
+    TimedOut(Duration),
+    LaunchFailed(String),
+}
+
+impl TargetStatus {
+    fn is_ok(&self) -> bool {
+        matches!(self, TargetStatus::Ok)
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            TargetStatus::Ok => "ok".to_owned(),
+            TargetStatus::Exit(code) => format!("exit {code}"),
+            TargetStatus::TimedOut(t) => format!("timed out after {:.0}s", t.as_secs_f64()),
+            TargetStatus::LaunchFailed(e) => format!("launch failed: {e}"),
+        }
+    }
+}
+
+/// Run one child to completion, killing it if it overruns `timeout`.
+fn run_child(exe: &std::path::Path, args: &[String], timeout: Option<Duration>) -> TargetStatus {
+    let mut child = match Command::new(exe).args(args).spawn() {
+        Ok(c) => c,
+        Err(e) => return TargetStatus::LaunchFailed(format!("{e} (build with --release first)")),
+    };
+    let start = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) if status.success() => return TargetStatus::Ok,
+            Ok(Some(status)) => return TargetStatus::Exit(status.code().unwrap_or(-1)),
+            Ok(None) => {
+                if let Some(t) = timeout {
+                    if start.elapsed() >= t {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return TargetStatus::TimedOut(t);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return TargetStatus::LaunchFailed(e.to_string());
+            }
+        }
+    }
+}
+
+/// The arguments forwarded to children: everything we received except
+/// the `--target-*` flags, which only steer this orchestrator.
+fn forwarded_args() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--target-timeout" || a == "--target-retries" {
+            let _ = args.next(); // consume the flag's value
+        } else if a.starts_with("--target-timeout=") || a.starts_with("--target-retries=") {
+            // flag and value in one token; drop it
+        } else {
+            out.push(a);
+        }
+    }
+    out
 }
 
 fn main() {
-    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let forwarded = forwarded_args();
+    let timeout = target_timeout_from_env();
+    let retries = target_retries_from_env();
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("exe directory");
     let mut reports = Vec::new();
-    let mut failures = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
     for t in TARGETS {
         println!("\n================ {t} ================");
-        let mut cmd = Command::new(dir.join(t));
-        cmd.args(&forwarded);
         let start = Instant::now();
-        let status = match cmd.status() {
-            Ok(s) if s.success() => "ok".to_owned(),
-            Ok(s) => {
-                eprintln!("{t} exited with {s}");
-                failures.push(*t);
-                format!("exit {}", s.code().map_or(-1, |c| c))
+        let mut attempts = 0u32;
+        let status = loop {
+            attempts += 1;
+            let mut args = forwarded.clone();
+            if attempts > 1 && !args.iter().any(|a| a == "--resume") {
+                // Retries pick up the child's checkpoints instead of
+                // recomputing completed jobs.
+                args.push("--resume".to_owned());
             }
-            Err(e) => {
-                eprintln!("{t} failed to launch: {e} (build with --release first)");
-                failures.push(*t);
-                "launch failed".to_owned()
+            let status = run_child(&dir.join(t), &args, timeout);
+            if status.is_ok() || attempts > retries {
+                break status;
             }
+            eprintln!(
+                "{t} {} (attempt {attempts} of {}); retrying with --resume",
+                status.describe(),
+                retries + 1
+            );
         };
+        if !status.is_ok() {
+            eprintln!("{t} {}", status.describe());
+            failures.push((*t).to_owned());
+        }
         let seconds = start.elapsed().as_secs_f64();
         println!("[{t}: {seconds:.2}s]");
         reports.push(TargetReport {
             target: (*t).to_owned(),
             seconds,
-            status,
+            status: status.describe(),
+            attempts,
         });
     }
 
@@ -62,12 +157,19 @@ fn main() {
     }
     let total: f64 = reports.iter().map(|r| r.seconds).sum();
     println!("  {:<8} {total:>8.2}s", "total");
-    save_json("run_all_summary", &reports);
+    let summary = Summary {
+        targets: reports,
+        failures: failures.clone(),
+    };
+    save_json("run_all_summary", &summary);
 
     if failures.is_empty() {
         println!("\nAll {} regenerators completed.", TARGETS.len());
     } else {
-        eprintln!("\nFailed: {failures:?}");
+        eprintln!(
+            "\nFailed: {failures:?} — completed jobs are checkpointed; \
+             rerun with --resume to finish without recomputing them"
+        );
         std::process::exit(1);
     }
 }

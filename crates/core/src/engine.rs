@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheStats, PartitionedCache};
 use crate::counters::OverflowTracker;
+use crate::error::EngineConfigError;
 use crate::scheme::{ParityMode, Scheme, SchemeSpec, TreeKind};
 use crate::tree::TreeGeometry;
 
@@ -176,6 +177,71 @@ impl EngineConfig {
             rank_stride_blocks: 4,
         }
     }
+
+    /// How many cache partitions this configuration needs (one per
+    /// enclave under isolation, one shared otherwise).
+    fn partitions(&self) -> usize {
+        if self.scheme.spec().isolated {
+            self.enclaves
+        } else {
+            1
+        }
+    }
+
+    /// How many distinct metadata structures the scheme caches on chip.
+    fn cached_structures(&self) -> usize {
+        let spec = self.scheme.spec();
+        usize::from(spec.tree != TreeKind::None)
+            + usize::from(spec.tree != TreeKind::None && !spec.mac_inline)
+            + usize::from(spec.parity_cached)
+    }
+
+    /// Check that the engine can be instantiated: positive enclave and
+    /// way counts, block-sized capacities, and a metadata-cache budget
+    /// whose per-partition, per-structure slice forms a valid
+    /// set-associative cache.
+    ///
+    /// # Errors
+    /// The first violated constraint, with the numbers that violate it.
+    pub fn validate(&self) -> Result<(), EngineConfigError> {
+        if self.enclaves == 0 {
+            return Err(EngineConfigError::NoEnclaves);
+        }
+        if self.cache_ways == 0 {
+            return Err(EngineConfigError::NoWays);
+        }
+        if self.rank_stride_blocks == 0 {
+            return Err(EngineConfigError::NoRankStride);
+        }
+        for (field, bytes) in [
+            ("data capacity", self.data_capacity),
+            ("enclave capacity", self.enclave_capacity),
+        ] {
+            if bytes < 64 {
+                return Err(EngineConfigError::CapacityTooSmall { field, bytes });
+            }
+        }
+        let structures = self.cached_structures();
+        let partitions = self.partitions();
+        // Schemes with no cached structures (Unsecure, Synergy) need no
+        // slice geometry; checked_div skips them via the zero divisor.
+        if let Some(slice) = self.metadata_cache_bytes.checked_div(partitions * structures) {
+            let blocks = slice / 64;
+            let valid = blocks >= self.cache_ways
+                && blocks.is_multiple_of(self.cache_ways)
+                && (blocks / self.cache_ways).is_power_of_two();
+            if !valid {
+                return Err(EngineConfigError::CacheSliceInvalid {
+                    budget: self.metadata_cache_bytes,
+                    partitions,
+                    structures,
+                    slice,
+                    ways: self.cache_ways,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Traffic and classification statistics for one run.
@@ -244,7 +310,22 @@ pub struct SecurityEngine {
 const MAX_WRITEBACK_CHAIN: usize = 32;
 
 impl SecurityEngine {
+    /// Build the engine.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; see [`Self::try_new`] for the
+    /// non-panicking variant.
     pub fn new(cfg: EngineConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build the engine, rejecting invalid configurations with a typed
+    /// error (see [`EngineConfig::validate`]).
+    ///
+    /// # Errors
+    /// [`crate::Error::Engine`] naming the violated constraint.
+    pub fn try_new(cfg: EngineConfig) -> Result<Self, crate::Error> {
+        cfg.validate().map_err(crate::Error::Engine)?;
         let spec = cfg.scheme.spec();
         let span = if spec.isolated {
             cfg.enclave_capacity
@@ -288,7 +369,7 @@ impl SecurityEngine {
             parity_bases.push(base + tree_bytes + mac_bytes);
         }
 
-        SecurityEngine {
+        Ok(SecurityEngine {
             cfg,
             spec,
             geo,
@@ -302,7 +383,7 @@ impl SecurityEngine {
                 parity_bases,
             },
             stats: EngineStats::default(),
-        }
+        })
     }
 
     pub fn config(&self) -> &EngineConfig {

@@ -1,0 +1,175 @@
+//! The workspace error taxonomy.
+//!
+//! [`Error`] is the one type the binaries and the simulator report:
+//! leaf-crate errors (`itesp_dram::ConfigError`, `itesp_trace::TraceError`)
+//! convert into it via `From`, and engine/scheme construction failures
+//! are native variants. Written by hand in the `thiserror` style
+//! (`Display` carries the message, `source()` chains to the wrapped
+//! error) since no derive crate is available offline.
+
+use itesp_dram::ConfigError;
+use itesp_trace::TraceError;
+
+/// Why an experiment component could not be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Invalid DRAM configuration.
+    Dram(ConfigError),
+    /// Invalid trace/workload parameters or benchmark name.
+    Trace(TraceError),
+    /// Invalid security-engine configuration.
+    Engine(EngineConfigError),
+    /// A scheme label that names no evaluated design point.
+    UnknownScheme(String),
+}
+
+/// Why a [`crate::EngineConfig`] cannot be instantiated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineConfigError {
+    /// Zero co-scheduled enclaves.
+    NoEnclaves,
+    /// Zero cache associativity.
+    NoWays,
+    /// Data or enclave capacity below one cache block.
+    CapacityTooSmall { field: &'static str, bytes: u64 },
+    /// The per-structure metadata cache slice cannot form a valid
+    /// set-associative cache (must be a `ways * 64`-byte multiple with a
+    /// power-of-two set count).
+    CacheSliceInvalid {
+        budget: usize,
+        partitions: usize,
+        structures: usize,
+        slice: usize,
+        ways: usize,
+    },
+    /// Rank stride of zero blocks (parity sharing needs a stride).
+    NoRankStride,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Dram(_) => write!(f, "invalid DRAM configuration"),
+            Error::Trace(_) => write!(f, "invalid workload"),
+            Error::Engine(_) => write!(f, "invalid security-engine configuration"),
+            Error::UnknownScheme(label) => write!(
+                f,
+                "unknown scheme {label:?} (expected one of {})",
+                crate::Scheme::ALL
+                    .iter()
+                    .map(|s| s.label())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineConfigError::NoEnclaves => write!(f, "enclave count must be positive"),
+            EngineConfigError::NoWays => write!(f, "cache associativity must be positive"),
+            EngineConfigError::CapacityTooSmall { field, bytes } => {
+                write!(
+                    f,
+                    "{field} must cover at least one 64 B block, got {bytes} B"
+                )
+            }
+            EngineConfigError::CacheSliceInvalid {
+                budget,
+                partitions,
+                structures,
+                slice,
+                ways,
+            } => write!(
+                f,
+                "metadata cache budget {budget} B split over {partitions} partition(s) x \
+                 {structures} structure(s) leaves {slice} B per cache, which cannot form a \
+                 {ways}-way cache (needs a ways x 64 B multiple with a power-of-two set count)"
+            ),
+            EngineConfigError::NoRankStride => {
+                write!(f, "rank stride must be at least one block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Dram(e) => Some(e),
+            Error::Trace(e) => Some(e),
+            Error::Engine(e) => Some(e),
+            Error::UnknownScheme(_) => None,
+        }
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Dram(e)
+    }
+}
+
+impl From<TraceError> for Error {
+    fn from(e: TraceError) -> Self {
+        Error::Trace(e)
+    }
+}
+
+impl From<EngineConfigError> for Error {
+    fn from(e: EngineConfigError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+/// Render an error with its full `source()` chain, `": "`-separated —
+/// the one-line form the binaries print (`invalid workload: unknown
+/// benchmark "mfc" (not in Table IV)`).
+pub fn render_chain(e: &dyn std::error::Error) -> String {
+    let mut out = e.to_string();
+    let mut cur = e.source();
+    while let Some(src) = cur {
+        out.push_str(": ");
+        out.push_str(&src.to_string());
+        cur = src.source();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wrapped_errors_chain_through_source() {
+        let e = Error::from(TraceError::UnknownBenchmark("nope".into()));
+        let src = e.source().expect("wraps the trace error");
+        assert!(src.to_string().contains("nope"), "{src}");
+
+        let e = Error::from(ConfigError::Zero { field: "t_burst" });
+        assert!(e.source().unwrap().to_string().contains("t_burst"));
+
+        assert!(Error::UnknownScheme("X".into()).source().is_none());
+    }
+
+    #[test]
+    fn render_chain_joins_outer_and_inner_messages() {
+        let e = Error::from(TraceError::UnknownBenchmark("mfc".into()));
+        let msg = render_chain(&e);
+        assert!(msg.starts_with("invalid workload: "), "{msg}");
+        assert!(msg.contains("unknown benchmark mfc"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_scheme_lists_valid_labels() {
+        let msg = Error::UnknownScheme("BOGUS".into()).to_string();
+        assert!(msg.contains("BOGUS"), "{msg}");
+        assert!(msg.contains("ITESP"), "{msg}");
+        assert!(msg.contains("VAULT"), "{msg}");
+    }
+}

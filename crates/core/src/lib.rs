@@ -25,6 +25,7 @@
 pub mod cache;
 pub mod counters;
 pub mod engine;
+pub mod error;
 pub mod mac;
 pub mod overhead;
 pub mod scheme;
@@ -36,6 +37,7 @@ pub use counters::{OverflowTracker, OVERFLOW_PENALTY_128};
 pub use engine::{
     AccessOutcome, EngineConfig, EngineStats, MetaAccess, MetaKind, MissCase, SecurityEngine,
 };
+pub use error::{EngineConfigError, Error};
 pub use mac::{hash_node, mac_block, siphash24, MacKey};
 pub use overhead::{table_i, OverheadRow};
 pub use scheme::{ParityMode, Scheme, SchemeSpec, TreeKind};

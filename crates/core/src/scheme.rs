@@ -112,6 +112,35 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// Every design point, in the paper's narrative order.
+    pub const ALL: [Scheme; 13] = [
+        Scheme::Unsecure,
+        Scheme::Vault,
+        Scheme::ItVault,
+        Scheme::Synergy,
+        Scheme::ItSynergy,
+        Scheme::ItSynergyParityCache,
+        Scheme::ItSynergySharedParity,
+        Scheme::ItSynergySharedParityCache,
+        Scheme::Itesp,
+        Scheme::Syn128,
+        Scheme::ItSyn128,
+        Scheme::Itesp64,
+        Scheme::Itesp128,
+    ];
+
+    /// Parse a figure label (e.g. `"ITSYN+SP"`) back into a scheme.
+    /// Case-insensitive.
+    ///
+    /// # Errors
+    /// [`crate::Error::UnknownScheme`] listing the valid labels.
+    pub fn from_label(label: &str) -> Result<Scheme, crate::Error> {
+        Scheme::ALL
+            .into_iter()
+            .find(|s| s.label().eq_ignore_ascii_case(label))
+            .ok_or_else(|| crate::Error::UnknownScheme(label.to_owned()))
+    }
+
     /// The eight Figure 8 bars, in plotting order.
     pub const FIGURE_8: [Scheme; 8] = [
         Scheme::Vault,
@@ -258,6 +287,14 @@ impl std::fmt::Display for Scheme {
     }
 }
 
+impl std::str::FromStr for Scheme {
+    type Err = crate::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scheme::from_label(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,22 +356,21 @@ mod tests {
     #[test]
     fn labels_are_unique() {
         use std::collections::HashSet;
-        let all = [
-            Scheme::Unsecure,
-            Scheme::Vault,
-            Scheme::ItVault,
-            Scheme::Synergy,
-            Scheme::ItSynergy,
-            Scheme::ItSynergyParityCache,
-            Scheme::ItSynergySharedParity,
-            Scheme::ItSynergySharedParityCache,
-            Scheme::Itesp,
-            Scheme::Syn128,
-            Scheme::ItSyn128,
-            Scheme::Itesp64,
-            Scheme::Itesp128,
-        ];
-        let labels: HashSet<_> = all.iter().map(|s| s.label()).collect();
-        assert_eq!(labels.len(), all.len());
+        let labels: HashSet<_> = Scheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), Scheme::ALL.len());
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for s in Scheme::ALL {
+            assert_eq!(Scheme::from_label(s.label()).unwrap(), s);
+            assert_eq!(s.label().parse::<Scheme>().unwrap(), s);
+            // Case-insensitive parse.
+            assert_eq!(Scheme::from_label(&s.label().to_lowercase()).unwrap(), s);
+        }
+        match Scheme::from_label("NOT-A-SCHEME") {
+            Err(crate::Error::UnknownScheme(l)) => assert_eq!(l, "NOT-A-SCHEME"),
+            other => panic!("expected UnknownScheme, got {other:?}"),
+        }
     }
 }

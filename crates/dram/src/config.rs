@@ -13,6 +13,53 @@ pub const BLOCK_BYTES: u64 = 64;
 /// log2 of [`BLOCK_BYTES`].
 pub const BLOCK_SHIFT: u32 = 6;
 
+/// Why a DRAM configuration is invalid.
+///
+/// Returned by the validating constructors ([`DramGeometry::validated`],
+/// [`DramConfig::new`]); the preset constructors (`table_iii` etc.) are
+/// valid by construction and stay infallible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A geometry field that feeds address-bit slicing is not a power
+    /// of two.
+    NotPowerOfTwo { field: &'static str, value: u32 },
+    /// A field that must be positive is zero.
+    Zero { field: &'static str },
+    /// Write-drain watermarks are inconsistent with the queue capacity.
+    BadWatermarks {
+        high: usize,
+        low: usize,
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { field, value } => {
+                write!(
+                    f,
+                    "DRAM geometry field {field} must be a power of two, got {value}"
+                )
+            }
+            ConfigError::Zero { field } => {
+                write!(f, "DRAM configuration field {field} must be positive")
+            }
+            ConfigError::BadWatermarks {
+                high,
+                low,
+                capacity,
+            } => write!(
+                f,
+                "write-drain watermarks must satisfy low < high <= write queue capacity, \
+                 got low {low}, high {high}, capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Physical organization of the memory system.
 ///
 /// The derived bit-widths (rank/bank/row/column) are used by the address
@@ -54,6 +101,36 @@ impl DramGeometry {
             channels: 2,
             ..Self::table_iii()
         }
+    }
+
+    /// Validate a hand-built geometry: every field that feeds address
+    /// slicing must be a nonzero power of two, and the chip count must
+    /// be positive.
+    ///
+    /// # Errors
+    /// Names the offending field.
+    pub fn validated(self) -> Result<Self, ConfigError> {
+        let pow2_fields = [
+            ("channels", self.channels),
+            ("ranks_per_channel", self.ranks_per_channel),
+            ("banks_per_rank", self.banks_per_rank),
+            ("rows_per_bank", self.rows_per_bank),
+            ("blocks_per_row", self.blocks_per_row),
+        ];
+        for (field, value) in pow2_fields {
+            if value == 0 {
+                return Err(ConfigError::Zero { field });
+            }
+            if !value.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo { field, value });
+            }
+        }
+        if self.chips_per_rank == 0 {
+            return Err(ConfigError::Zero {
+                field: "chips_per_rank",
+            });
+        }
+        Ok(self)
     }
 
     /// Total capacity in bytes across all channels.
@@ -254,6 +331,36 @@ pub struct DramConfig {
     pub mapping: AddressMapping,
 }
 
+impl QueueConfig {
+    /// Validate queue sizing: capacities positive, watermarks ordered
+    /// and within the write-queue capacity.
+    ///
+    /// # Errors
+    /// Names the offending field or watermark pair.
+    pub fn validated(self) -> Result<Self, ConfigError> {
+        if self.read_queue == 0 {
+            return Err(ConfigError::Zero {
+                field: "read_queue",
+            });
+        }
+        if self.write_queue == 0 {
+            return Err(ConfigError::Zero {
+                field: "write_queue",
+            });
+        }
+        if self.write_low_watermark >= self.write_high_watermark
+            || self.write_high_watermark > self.write_queue
+        {
+            return Err(ConfigError::BadWatermarks {
+                high: self.write_high_watermark,
+                low: self.write_low_watermark,
+                capacity: self.write_queue,
+            });
+        }
+        Ok(self)
+    }
+}
+
 impl DramConfig {
     /// The paper's 4-core baseline: Table III with one channel.
     pub fn table_iii() -> Self {
@@ -272,6 +379,32 @@ impl DramConfig {
             geometry: DramGeometry::two_channel(),
             ..Self::table_iii()
         }
+    }
+
+    /// Build and validate a complete configuration from hand-picked
+    /// parts (the presets above are valid by construction).
+    ///
+    /// # Errors
+    /// Names the first invalid field.
+    pub fn new(
+        geometry: DramGeometry,
+        timing: DramTiming,
+        power: PowerParams,
+        queues: QueueConfig,
+        mapping: AddressMapping,
+    ) -> Result<Self, ConfigError> {
+        let geometry = geometry.validated()?;
+        let queues = queues.validated()?;
+        if timing.t_burst == 0 {
+            return Err(ConfigError::Zero { field: "t_burst" });
+        }
+        Ok(DramConfig {
+            geometry,
+            timing,
+            power,
+            queues,
+            mapping,
+        })
     }
 
     /// Same configuration with a different address mapping policy.
@@ -324,6 +457,57 @@ mod tests {
         let t = DramTiming::ddr3_1600();
         assert_eq!(t.read_latency(), 15);
         assert_eq!(t.write_latency(), 12);
+    }
+
+    #[test]
+    fn presets_pass_validation() {
+        for cfg in [DramConfig::table_iii(), DramConfig::two_channel()] {
+            DramConfig::new(cfg.geometry, cfg.timing, cfg.power, cfg.queues, cfg.mapping)
+                .expect("preset configuration must validate");
+        }
+    }
+
+    #[test]
+    fn invalid_geometry_names_the_field() {
+        let g = DramGeometry {
+            ranks_per_channel: 12,
+            ..DramGeometry::table_iii()
+        };
+        match g.validated() {
+            Err(ConfigError::NotPowerOfTwo { field, value }) => {
+                assert_eq!(field, "ranks_per_channel");
+                assert_eq!(value, 12);
+            }
+            other => panic!("expected NotPowerOfTwo, got {other:?}"),
+        }
+        let g = DramGeometry {
+            chips_per_rank: 0,
+            ..DramGeometry::table_iii()
+        };
+        assert_eq!(
+            g.validated(),
+            Err(ConfigError::Zero {
+                field: "chips_per_rank"
+            })
+        );
+    }
+
+    #[test]
+    fn inverted_watermarks_rejected() {
+        let q = QueueConfig {
+            write_high_watermark: 10,
+            write_low_watermark: 20,
+            ..QueueConfig::default()
+        };
+        match q.validated() {
+            Err(ConfigError::BadWatermarks { high, low, .. }) => {
+                assert_eq!((high, low), (10, 20));
+            }
+            other => panic!("expected BadWatermarks, got {other:?}"),
+        }
+        // Errors render with the field context for operator reports.
+        let msg = q.validated().unwrap_err().to_string();
+        assert!(msg.contains("low 20"), "{msg}");
     }
 
     #[test]

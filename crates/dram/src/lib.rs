@@ -42,7 +42,8 @@ pub use address::{AddressDecoder, AddressMapping, DecodedAddr};
 pub use channel::Channel;
 pub use command::{ChannelStats, Command, Completion, IssuedCommand, Request, RequestId};
 pub use config::{
-    DramConfig, DramGeometry, DramTiming, PowerParams, QueueConfig, BLOCK_BYTES, BLOCK_SHIFT,
+    ConfigError, DramConfig, DramGeometry, DramTiming, PowerParams, QueueConfig, BLOCK_BYTES,
+    BLOCK_SHIFT,
 };
 pub use power::{energy_for_run, EnergyBreakdown};
 pub use reference::ReferenceChannel;

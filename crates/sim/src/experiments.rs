@@ -12,7 +12,7 @@
 
 use itesp_core::{EngineConfig, Scheme};
 use itesp_dram::{AddressMapping, DramConfig};
-use itesp_trace::{benchmark, Benchmark, MultiProgram};
+use itesp_trace::{Benchmark, MultiProgram};
 
 use crate::stats::RunResult;
 use crate::system::{System, SystemConfig};
@@ -118,10 +118,24 @@ pub fn run_workload(mp: &MultiProgram, p: ExperimentParams) -> RunResult {
 /// Run one benchmark by name.
 ///
 /// # Panics
-/// Panics if the name is not in Table IV.
+/// Panics if the name is not in Table IV; see [`try_run_named`] for the
+/// non-panicking variant.
 pub fn run_named(name: &str, p: ExperimentParams) -> RunResult {
-    let b = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    run_experiment(b, p)
+    try_run_named(name, p).unwrap_or_else(|e| panic!("{}", itesp_core::error::render_chain(&e)))
+}
+
+/// Run one benchmark by name, reporting bad input as a typed error.
+///
+/// # Errors
+/// [`itesp_core::Error`] for an unknown benchmark or a parameter set the
+/// engine rejects.
+pub fn try_run_named(name: &str, p: ExperimentParams) -> Result<RunResult, itesp_core::Error> {
+    let b = itesp_trace::benchmark_or_err(name)?;
+    let dram = p.dram_config();
+    p.engine_config(&dram)
+        .validate()
+        .map_err(itesp_core::Error::Engine)?;
+    Ok(run_experiment(b, p))
 }
 
 #[cfg(test)]

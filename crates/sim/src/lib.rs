@@ -26,6 +26,6 @@ pub mod stats;
 pub mod system;
 
 pub use covert::{run_channel, ChannelPoint, CovertConfig, LatencyRange};
-pub use experiments::{run_experiment, run_named, run_workload, ExperimentParams};
+pub use experiments::{run_experiment, run_named, run_workload, try_run_named, ExperimentParams};
 pub use stats::RunResult;
 pub use system::{System, SystemConfig, CPU_PER_DRAM_CYCLE};

@@ -1,0 +1,42 @@
+//! Typed errors for trace and workload construction.
+//!
+//! The panicking constructors remain (they delegate here), but callers
+//! that want to report bad input instead of aborting — the bench
+//! binaries and `itesp_core::Error` — use the `try_*` variants, which
+//! return [`TraceError`].
+
+use crate::record::PAGE_BYTES;
+
+/// Why a trace or workload could not be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A benchmark name is not in Table IV.
+    UnknownBenchmark(String),
+    /// The working set is smaller than one page.
+    WorkingSetTooSmall { bytes: u64 },
+    /// The power-law locality exponent is below 1 (1 = uniform).
+    LocalityExponentBelowOne { exponent: f64 },
+    /// A multi-program mix was requested with zero programs.
+    EmptyMix,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::UnknownBenchmark(name) => {
+                write!(f, "unknown benchmark {name} (not in Table IV)")
+            }
+            TraceError::WorkingSetTooSmall { bytes } => write!(
+                f,
+                "working set must be at least one page ({PAGE_BYTES} B), got {bytes} B"
+            ),
+            TraceError::LocalityExponentBelowOne { exponent } => write!(
+                f,
+                "locality exponent must be >= 1 (1 = uniform), got {exponent}"
+            ),
+            TraceError::EmptyMix => write!(f, "multi-program mix needs at least one benchmark"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}

@@ -22,14 +22,18 @@
 //! assert_eq!(mp.copies(), 4);
 //! ```
 
+pub mod error;
 pub mod multiprog;
 pub mod pages;
 pub mod record;
 pub mod suites;
 pub mod workload;
 
+pub use error::TraceError;
 pub use multiprog::MultiProgram;
 pub use pages::{FreeListModel, PageMapper, Translation};
 pub use record::{MemOp, PhysRecord, TraceRecord, PAGE_BYTES, PAGE_SHIFT};
-pub use suites::{benchmark, memory_intensive, AccessPattern, Benchmark, Suite, BENCHMARKS};
+pub use suites::{
+    benchmark, benchmark_or_err, memory_intensive, AccessPattern, Benchmark, Suite, BENCHMARKS,
+};
 pub use workload::{WorkloadGen, WorkloadParams};

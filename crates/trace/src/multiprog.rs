@@ -7,6 +7,7 @@
 //! [`PageMapper`] whose first-touch allocation interleaves their physical
 //! pages exactly as co-scheduled first-touch allocation would.
 
+use crate::error::TraceError;
 use crate::pages::{FreeListModel, PageMapper};
 use crate::record::{MemOp, PhysRecord, TraceRecord};
 use crate::suites::Benchmark;
@@ -74,13 +75,25 @@ impl MultiProgram {
     /// co-scheduled (the generalization of the paper's homogeneous runs).
     ///
     /// # Panics
-    /// Panics if any name is not in Table IV.
+    /// Panics if any name is not in Table IV; see [`Self::try_mixed`]
+    /// for the non-panicking variant.
     pub fn mixed(names: &[&str], ops: usize, seed: u64) -> Self {
-        use crate::suites::benchmark;
+        Self::try_mixed(names, ops, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::mixed`], rejecting unknown names with a typed error.
+    ///
+    /// # Errors
+    /// [`TraceError::UnknownBenchmark`] or [`TraceError::EmptyMix`].
+    pub fn try_mixed(names: &[&str], ops: usize, seed: u64) -> Result<Self, TraceError> {
+        use crate::suites::benchmark_or_err;
+        if names.is_empty() {
+            return Err(TraceError::EmptyMix);
+        }
         let benches: Vec<_> = names
             .iter()
-            .map(|n| *benchmark(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
-            .collect();
+            .map(|n| benchmark_or_err(n).copied())
+            .collect::<Result<_, _>>()?;
         let virt: Vec<Vec<TraceRecord>> = benches
             .iter()
             .enumerate()
@@ -94,7 +107,7 @@ impl MultiProgram {
             })
             .collect();
         let max_ws = benches.iter().map(|b| b.working_set_mb).max().unwrap_or(1);
-        Self::map_round_robin(
+        Ok(Self::map_round_robin(
             virt,
             &names.join("+"),
             max_ws,
@@ -103,7 +116,7 @@ impl MultiProgram {
                 mean_extent_pages: 4.0,
                 seed: 0x9A6E_5EED,
             },
-        )
+        ))
     }
 
     /// Page-map pre-generated virtual traces with interleaved first touch.

@@ -361,6 +361,14 @@ pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
     BENCHMARKS.iter().find(|b| b.name == name)
 }
 
+/// Look up a benchmark by name, with a typed error for reporting.
+///
+/// # Errors
+/// [`TraceError::UnknownBenchmark`] when the name is not in Table IV.
+pub fn benchmark_or_err(name: &str) -> Result<&'static Benchmark, crate::TraceError> {
+    benchmark(name).ok_or_else(|| crate::TraceError::UnknownBenchmark(name.to_owned()))
+}
+
 /// The 15 memory-intensive benchmarks the paper's averages report on.
 pub fn memory_intensive() -> impl Iterator<Item = &'static Benchmark> {
     BENCHMARKS.iter().filter(|b| b.memory_intensive)

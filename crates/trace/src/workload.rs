@@ -15,6 +15,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::TraceError;
 use crate::record::{MemOp, TraceRecord, PAGE_BYTES};
 use crate::suites::{AccessPattern, Benchmark};
 
@@ -86,24 +87,38 @@ impl WorkloadGen {
     /// Create a generator for `params`, seeded deterministically.
     ///
     /// # Panics
-    /// Panics if the working set is smaller than one page.
+    /// Panics if the working set is smaller than one page or the
+    /// locality exponent is below 1; see [`Self::try_new`] for the
+    /// non-panicking variant.
     pub fn new(params: WorkloadParams, seed: u64) -> Self {
-        assert!(
-            params.working_set >= PAGE_BYTES,
-            "working set must be at least one page"
-        );
-        assert!(
-            params.locality_exponent >= 1.0,
-            "locality exponent must be >= 1 (1 = uniform)"
-        );
+        Self::try_new(params, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Create a generator for `params`, rejecting invalid parameters
+    /// with a typed error instead of panicking.
+    ///
+    /// # Errors
+    /// [`TraceError::WorkingSetTooSmall`] or
+    /// [`TraceError::LocalityExponentBelowOne`].
+    pub fn try_new(params: WorkloadParams, seed: u64) -> Result<Self, TraceError> {
+        if params.working_set < PAGE_BYTES {
+            return Err(TraceError::WorkingSetTooSmall {
+                bytes: params.working_set,
+            });
+        }
+        if params.locality_exponent < 1.0 {
+            return Err(TraceError::LocalityExponentBelowOne {
+                exponent: params.locality_exponent,
+            });
+        }
         let ws_blocks = params.working_set / BLOCK;
-        WorkloadGen {
+        Ok(WorkloadGen {
             params,
             rng: StdRng::seed_from_u64(seed),
             cursor: 0,
             run_left: 0,
             ws_blocks,
-        }
+        })
     }
 
     /// Convenience constructor from a benchmark table entry.

@@ -32,6 +32,21 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     }
 }
 
+/// Derive `serde_json::FromValue`, the read-side inverse of the
+/// `Serialize` derive above: named structs read from JSON objects by
+/// field name, newtype structs delegate to the inner type, tuple
+/// structs read from fixed-length arrays, unit structs from `null`.
+#[proc_macro_derive(FromValue)]
+pub fn derive_from_value(input: TokenStream) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => match item.from_value_impl() {
+            Ok(code) => code.parse().unwrap(),
+            Err(msg) => error(&msg),
+        },
+        Err(msg) => error(&msg),
+    }
+}
+
 fn error(msg: &str) -> TokenStream {
     format!("compile_error!({msg:?});").parse().unwrap()
 }
@@ -107,6 +122,52 @@ impl Item {
              fn json(&self, out: &mut String) {{ {body} }}\n\
              }}"
         )
+    }
+
+    fn from_value_impl(&self) -> Result<String, String> {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Struct(Shape::Unit) => format!(
+                "match v {{ serde_json::Value::Null => Ok({name}), \
+                 other => Err(format!(\"expected null, got {{}}\", other.kind())) }}"
+            ),
+            Body::Struct(Shape::Named(fields)) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde_json::FromValue::from_value(v.field(\"{f}\")?)?, "
+                        )
+                    })
+                    .collect();
+                format!("Ok({name} {{ {inits} }})")
+            }
+            Body::Struct(Shape::Tuple(1)) => {
+                format!("Ok({name}(serde_json::FromValue::from_value(v)?))")
+            }
+            Body::Struct(Shape::Tuple(n)) => {
+                let inits: String = (0..*n)
+                    .map(|i| format!("serde_json::FromValue::from_value(v.item({i})?)?, "))
+                    .collect();
+                format!(
+                    "let items = v.items()?;\n\
+                     if items.len() != {n} {{\n\
+                     return Err(format!(\"expected array of {n}, got {{}}\", items.len()));\n\
+                     }}\n\
+                     Ok({name}({inits}))"
+                )
+            }
+            Body::Enum(_) => {
+                return Err(format!(
+                    "serde stub derive: FromValue does not support enums ({name})"
+                ))
+            }
+        };
+        Ok(format!(
+            "impl serde_json::FromValue for {name} {{\n\
+             fn from_value(v: &serde_json::Value) -> Result<Self, String> {{ {body} }}\n\
+             }}"
+        ))
     }
 }
 

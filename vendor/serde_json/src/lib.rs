@@ -1,18 +1,35 @@
 //! Offline stand-in for `serde_json`, covering the workspace's usage:
 //! [`to_string`] and [`to_string_pretty`] over the vendored `serde`
-//! facade. Pretty output matches serde_json's style (two-space indent,
-//! `": "` separators, `{}`/`[]` for empty containers).
+//! facade (pretty output matches serde_json's style — two-space indent,
+//! `": "` separators, `{}`/`[]` for empty containers), plus a read side
+//! ([`from_str`] into [`Value`], converted to typed rows via
+//! [`FromValue`] / `#[derive(FromValue)]`) used by the bench crate's
+//! checkpoint/resume layer.
+
+pub mod value;
+
+pub use value::{from_str, FromValue, Value};
+
+/// Derive [`FromValue`] for structs (named or tuple fields).
+pub use serde_derive::FromValue;
 
 use serde::Serialize;
 
-/// Serialization error. The vendored facade is infallible, but the
-/// signature mirrors the real crate so call sites stay identical.
+/// Serialization or parse error. Serialization via the vendored facade
+/// is infallible (the `Result` mirrors the real crate); parsing fails on
+/// malformed JSON.
 #[derive(Debug)]
-pub struct Error(&'static str);
+pub struct Error(String);
+
+impl Error {
+    fn msg(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json serialization error: {}", self.0)
+        write!(f, "json error: {}", self.0)
     }
 }
 

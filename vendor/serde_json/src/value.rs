@@ -1,0 +1,542 @@
+//! Minimal JSON parse tree + [`FromValue`] conversion, the read half of
+//! the vendored serde facade. The bench crate's checkpoint/resume layer
+//! uses it to round-trip per-job result rows: numbers keep their **raw
+//! source token** ([`Value::Num`]), so integers re-parse exactly and
+//! floats survive `Display` round-trips byte-identically.
+
+use crate::Error;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// A number, stored as its raw source token (e.g. `"2.5"`, `"18446744073709551615"`)
+    /// so conversion can parse the exact type the caller wants.
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    /// An object, as an ordered list of `(key, value)` pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Look up `key` in an object.
+    ///
+    /// # Errors
+    /// When `self` is not an object or the key is absent.
+    pub fn field(&self, key: &str) -> Result<&Value, String> {
+        match self {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {key:?}")),
+            other => Err(format!("expected object with field {key:?}, got {}", other.kind())),
+        }
+    }
+
+    /// Index into an array.
+    ///
+    /// # Errors
+    /// When `self` is not an array or the index is out of range.
+    pub fn item(&self, i: usize) -> Result<&Value, String> {
+        match self {
+            Value::Arr(items) => items
+                .get(i)
+                .ok_or_else(|| format!("array index {i} out of range (len {})", items.len())),
+            other => Err(format!("expected array, got {}", other.kind())),
+        }
+    }
+
+    /// The elements of an array.
+    ///
+    /// # Errors
+    /// When `self` is not an array.
+    pub fn items(&self) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {}", other.kind())),
+        }
+    }
+
+    /// String content.
+    ///
+    /// # Errors
+    /// When `self` is not a string.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {}", other.kind())),
+        }
+    }
+
+    /// Parse the raw number token as `u64`.
+    ///
+    /// # Errors
+    /// When `self` is not a number or the token does not fit.
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Value::Num(raw) => raw
+                .parse()
+                .map_err(|_| format!("number {raw:?} is not a u64")),
+            other => Err(format!("expected number, got {}", other.kind())),
+        }
+    }
+
+    /// Parse the raw number token as `f64`. JSON `null` maps to NaN,
+    /// mirroring the write side (non-finite floats serialize as `null`).
+    ///
+    /// # Errors
+    /// When `self` is neither a number nor `null`.
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::Null => Ok(f64::NAN),
+            Value::Num(raw) => raw
+                .parse()
+                .map_err(|_| format!("number {raw:?} is not an f64")),
+            other => Err(format!("expected number, got {}", other.kind())),
+        }
+    }
+}
+
+/// Parse a JSON document.
+///
+/// # Errors
+/// On malformed JSON (with a byte offset in the message).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0).map_err(Error::msg)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing garbage at byte {} of JSON document",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+/// Recursion guard: figure dumps nest a handful of levels; anything
+/// deeper is corrupt input, not data.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {} of JSON document",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("JSON nested deeper than {MAX_DEPTH} levels"));
+        }
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(Value::Null),
+            Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!(
+                "unexpected character {:?} at byte {} of JSON document",
+                c as char, self.pos
+            )),
+            None => Err("unexpected end of JSON document".into()),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated JSON string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape in JSON string".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Combine UTF-16 surrogate pairs.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if !self.literal("\\u") {
+                                    return Err("unpaired surrogate in JSON string".into());
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate in JSON string".into());
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or("invalid \\u escape in JSON string")?);
+                        }
+                        _ => {
+                            return Err(format!(
+                                "invalid escape '\\{}' in JSON string",
+                                esc as char
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b)?;
+                    let end = start + len;
+                    let bytes = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or("truncated UTF-8 in JSON string")?;
+                    let s = std::str::from_utf8(bytes)
+                        .map_err(|_| "invalid UTF-8 in JSON string".to_owned())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or("truncated \\u escape in JSON string")?;
+        let s = std::str::from_utf8(hex).map_err(|_| "invalid \\u escape".to_owned())?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| format!("invalid \\u escape {s:?}"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number token");
+        // Validate once; the token is re-parsed at conversion time.
+        raw.parse::<f64>()
+            .map_err(|_| format!("invalid JSON number {raw:?} at byte {start}"))?;
+        Ok(Value::Num(raw.to_owned()))
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize, String> {
+    match first {
+        0x00..=0x7F => Ok(1),
+        0xC0..=0xDF => Ok(2),
+        0xE0..=0xEF => Ok(3),
+        0xF0..=0xF7 => Ok(4),
+        _ => Err("invalid UTF-8 in JSON string".into()),
+    }
+}
+
+/// Conversion from a parsed [`Value`] — the read-side counterpart of
+/// `serde::Serialize`. Implementations must round-trip: for any `x`,
+/// `from_value(parse(to_string(&x))) == x` and re-serializing yields the
+/// same bytes (NaN excepted, which round-trips through `null`).
+pub trait FromValue: Sized {
+    /// Convert a parsed JSON value.
+    ///
+    /// # Errors
+    /// Describes the type mismatch (no position info; callers attach
+    /// file/line context).
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+macro_rules! from_value_int {
+    ($($t:ty),*) => {$(
+        impl FromValue for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Num(raw) => raw
+                        .parse()
+                        .map_err(|_| format!("number {raw:?} is not {}", stringify!($t))),
+                    other => Err(format!(
+                        "expected {}, got {}", stringify!($t), other.kind()
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+from_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromValue for f64 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_f64()
+    }
+}
+
+impl FromValue for f32 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(f32::NAN),
+            Value::Num(raw) => raw
+                .parse()
+                .map_err(|_| format!("number {raw:?} is not an f32")),
+            other => Err(format!("expected f32, got {}", other.kind())),
+        }
+    }
+}
+
+impl FromValue for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {}", other.kind())),
+        }
+    }
+}
+
+impl FromValue for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_str().map(str::to_owned)
+    }
+}
+
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: FromValue> FromValue for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.items()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: FromValue, const N: usize> FromValue for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let items = v.items()?;
+        if items.len() != N {
+            return Err(format!("expected array of {N}, got {}", items.len()));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| "array length changed during conversion".to_owned())
+    }
+}
+
+macro_rules! from_value_tuple {
+    ($n:expr, $($t:ident : $i:tt),*) => {
+        impl<$($t: FromValue),*> FromValue for ($($t,)*) {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let items = v.items()?;
+                if items.len() != $n {
+                    return Err(format!(
+                        "expected array of {}, got {}", $n, items.len()
+                    ));
+                }
+                Ok(($($t::from_value(&items[$i])?,)*))
+            }
+        }
+    };
+}
+
+from_value_tuple!(2, A: 0, B: 1);
+from_value_tuple!(3, A: 0, B: 1, C: 2);
+from_value_tuple!(4, A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_string;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("-1.5e3").unwrap(), Value::Num("-1.5e3".into()));
+        assert_eq!(
+            from_str("[1,\"a\",{}]").unwrap(),
+            Value::Arr(vec![
+                Value::Num("1".into()),
+                Value::Str("a".into()),
+                Value::Obj(vec![]),
+            ])
+        );
+        let v = from_str("{\"k\": [1, 2]}").unwrap();
+        assert_eq!(v.field("k").unwrap().items().unwrap().len(), 2);
+        assert!(v.field("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "nul", "1 2", "\"\\q\"", "\"unterminated"] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote\" slash\\ nl\n tab\t unicode\u{1F600}ctrl\u{1}";
+        let json = to_string(&original).unwrap();
+        let parsed = from_str(&json).unwrap();
+        assert_eq!(parsed.as_str().unwrap(), original);
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        // u64::MAX does not fit in f64; the raw-token representation
+        // must still recover it exactly.
+        let json = to_string(&u64::MAX).unwrap();
+        assert_eq!(u64::from_value(&from_str(&json).unwrap()).unwrap(), u64::MAX);
+
+        for x in [0.1f64, 1.0 / 3.0, 2.0, -0.0, 1e300, f64::MIN_POSITIVE] {
+            let json = to_string(&x).unwrap();
+            let back = f64::from_value(&from_str(&json).unwrap()).unwrap();
+            assert_eq!(to_string(&back).unwrap(), json, "float {x} drifted");
+        }
+        // Non-finite floats serialize as null and come back as NaN.
+        let json = to_string(&f64::NAN).unwrap();
+        assert_eq!(json, "null");
+        assert!(f64::from_value(&from_str(&json).unwrap()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn composite_from_value() {
+        let v = from_str("[[1.5,2],[3.25,4]]").unwrap();
+        let pairs: Vec<(f64, u64)> = Vec::from_value(&v).unwrap();
+        assert_eq!(pairs, vec![(1.5, 2), (3.25, 4)]);
+
+        let v = from_str("[1,2,3,4]").unwrap();
+        let arr: [f64; 4] = <[f64; 4]>::from_value(&v).unwrap();
+        assert_eq!(arr, [1.0, 2.0, 3.0, 4.0]);
+        assert!(<[f64; 3]>::from_value(&v).is_err());
+
+        let v = from_str("[null,\"x\"]").unwrap();
+        let opts: Vec<Option<String>> = Vec::from_value(&v).unwrap();
+        assert_eq!(opts, vec![None, Some("x".into())]);
+    }
+}
