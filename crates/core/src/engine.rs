@@ -225,7 +225,10 @@ impl EngineConfig {
         let partitions = self.partitions();
         // Schemes with no cached structures (Unsecure, Synergy) need no
         // slice geometry; checked_div skips them via the zero divisor.
-        if let Some(slice) = self.metadata_cache_bytes.checked_div(partitions * structures) {
+        if let Some(slice) = self
+            .metadata_cache_bytes
+            .checked_div(partitions * structures)
+        {
             let blocks = slice / 64;
             let valid = blocks >= self.cache_ways
                 && blocks.is_multiple_of(self.cache_ways)
@@ -681,10 +684,63 @@ impl SecurityEngine {
     /// ranks"). Column mapping (S = 1024) violates this, so parity
     /// falls back to a separate shared-parity structure that contends
     /// in the unified metadata cache — Figure 15's penalty.
-    fn embedding_viable(&self) -> bool {
+    pub fn embedding_viable(&self) -> bool {
         let geo = self.geo.as_ref().expect("embedded parity implies tree");
         let s = self.cfg.rank_stride_blocks.max(1);
         s.saturating_mul(geo.parity_share()) <= geo.leaf_arity()
+    }
+
+    /// How many blocks share one correction parity under this scheme:
+    /// 1 for per-block parity (Synergy), the cross-rank group size for
+    /// shared and embedded parity, 0 when the scheme has no parity at
+    /// all (detection-only designs cannot reconstruct).
+    pub fn parity_group_share(&self) -> u64 {
+        match self.spec.parity {
+            ParityMode::None => 0,
+            ParityMode::PerBlock => 1,
+            ParityMode::Shared(share) => share,
+            ParityMode::Embedded => self.geo.as_ref().map_or(0, |g| g.parity_share()),
+        }
+    }
+
+    /// External fallback-parity line used when embedding is not viable:
+    /// groups are laid out rank-major so consecutive blocks map to
+    /// different parity lines (Section V-C).
+    fn fallback_parity_line(&self, part: usize, block: u64) -> u64 {
+        let geo = self.geo.as_ref().expect("embedded parity implies tree");
+        let share = geo.parity_share();
+        let s = self.cfg.rank_stride_blocks.max(1);
+        let window = s.saturating_mul(share).min(geo.data_blocks()).max(1);
+        let windows = (geo.data_blocks() / window).max(1);
+        let group = (block % s) * windows + (block / window);
+        self.regions.parity_bases[part] + (group / 8) * 64
+    }
+
+    /// The memory line a recovery of `block` must fetch its correction
+    /// parity from: the per-block/shared parity line, the tree leaf for
+    /// viable embedded parity, or the external fallback line. `None`
+    /// when the scheme has no parity (detection-only — the RAS layer
+    /// reports an uncorrectable error instead of reconstructing).
+    pub fn recovery_parity_addr(&self, part: usize, block: u64) -> Option<u64> {
+        let base = self.regions.parity_bases[part];
+        match self.spec.parity {
+            ParityMode::None => None,
+            ParityMode::PerBlock => Some(base + (block / 8) * 64),
+            ParityMode::Shared(share) => {
+                let group = self.parity_group(block, share);
+                Some(base + (group / 8) * 64)
+            }
+            ParityMode::Embedded => {
+                if self.embedding_viable() {
+                    // Parity rides in the tree leaf covering the block.
+                    let geo = self.geo.as_ref().expect("embedded parity implies tree");
+                    let leaf = geo.leaf_of(block);
+                    Some(geo.node_addr(self.regions.tree_bases[part], leaf))
+                } else {
+                    Some(self.fallback_parity_line(part, block))
+                }
+            }
+        }
     }
 
     fn parity_update(&mut self, part: usize, block: u64, mem: &mut Vec<MetaAccess>) {
@@ -760,13 +816,7 @@ impl SecurityEngine {
                     // laid out rank-major, so "consecutive cache lines
                     // are mapped to different shared parity blocks"
                     // (Section V-C) and writes do not coalesce.
-                    let geo = self.geo.as_ref().expect("embedded parity implies tree");
-                    let share = geo.parity_share();
-                    let s = self.cfg.rank_stride_blocks.max(1);
-                    let window = s.saturating_mul(share).min(geo.data_blocks()).max(1);
-                    let windows = (geo.data_blocks() / window).max(1);
-                    let group = (block % s) * windows + (block / window);
-                    let line = self.regions.parity_bases[part] + (group / 8) * 64;
+                    let line = self.fallback_parity_line(part, block);
                     let cache = self.tree_cache.as_mut().expect("tree cache");
                     let out = cache.access(part, line, true);
                     if !out.hit {
@@ -1070,6 +1120,50 @@ mod tests {
         assert_eq!(MissCase::classify(true, 2), MissCase::F);
         assert_eq!(MissCase::classify(false, 5), MissCase::G);
         assert_eq!(MissCase::classify(true, 3), MissCase::H);
+    }
+
+    #[test]
+    fn recovery_parity_addr_follows_the_scheme() {
+        // Detection-only scheme: no parity to fetch.
+        assert_eq!(engine(Scheme::Vault).recovery_parity_addr(0, 5), None);
+        assert_eq!(engine(Scheme::Vault).parity_group_share(), 0);
+
+        // Per-block parity: 8 parity words per line.
+        let syn = engine(Scheme::Synergy);
+        assert_eq!(syn.parity_group_share(), 1);
+        assert_eq!(
+            syn.recovery_parity_addr(0, 17),
+            Some(syn.parity_base(0) + 2 * 64)
+        );
+
+        // Shared parity: the group's line, matching the write path.
+        let shared = engine(Scheme::ItSynergySharedParity);
+        assert_eq!(shared.parity_group_share(), 8);
+        let group = shared.parity_group(9, 8);
+        assert_eq!(
+            shared.recovery_parity_addr(0, 9),
+            Some(shared.parity_base(0) + (group / 8) * 64)
+        );
+
+        // Viable embedded parity: the covering tree leaf itself.
+        let itesp = engine(Scheme::Itesp);
+        assert!(itesp.embedding_viable());
+        let geo = itesp.geometry().unwrap();
+        let leaf = geo.node_addr(itesp.tree_base(0), geo.leaf_of(100));
+        assert_eq!(itesp.recovery_parity_addr(0, 100), Some(leaf));
+    }
+
+    #[test]
+    fn recovery_parity_addr_fallback_when_embedding_fails() {
+        let mut cfg = EngineConfig::paper_default(Scheme::Itesp);
+        cfg.rank_stride_blocks = 1024; // Column mapping: not viable
+        let e = SecurityEngine::new(cfg);
+        assert!(!e.embedding_viable());
+        let addr = e.recovery_parity_addr(0, 100).unwrap();
+        assert!(
+            addr >= e.parity_base(0),
+            "fallback parity must live in the external parity region"
+        );
     }
 
     #[test]

@@ -16,10 +16,9 @@ use itesp_oracle::{
 };
 use itesp_reliability::{
     column_parity, correct_shared, inject, shared_parity, table_ii, Correction, Design, Fault,
-    ReliabilityParams, TOTAL_CHIPS,
+    FaultStream, ReliabilityParams, TOTAL_CHIPS,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Randomized trials per seed (override with `ITESP_FAULT_TRIALS`).
 fn trials() -> usize {
@@ -35,16 +34,17 @@ fn trials() -> usize {
 #[test]
 fn fault_campaign_random_single_faults() {
     with_seeds("fault_campaign_random_single_faults", 4, |seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let sweep: Vec<Fault> = exhaustive_single_faults(rng.gen_range(0..8), rng.gen_range(0..8))
-            .into_iter()
-            .chain((0..trials()).map(|_| Fault::random(&mut rng)))
-            .collect();
+        let mut stream = FaultStream::seeded(seed);
+        let sweep: Vec<Fault> =
+            exhaustive_single_faults(stream.rng().gen_range(0..8), stream.rng().gen_range(0..8))
+                .into_iter()
+                .chain((0..trials()).map(|_| stream.next_fault()))
+                .collect();
         for fault in sweep {
-            let original = random_word(&mut rng);
+            let original = random_word(stream.rng());
             let parity = column_parity(&original.word);
             let mut trial = original;
-            inject(&mut trial.word, fault, &mut rng);
+            inject(&mut trial.word, fault, stream.rng());
             match classify(&original.word, &trial, parity) {
                 TrialOutcome::Corrected { chip, mac_trials } => {
                     assert_eq!(
@@ -74,21 +74,21 @@ fn fault_campaign_random_single_faults() {
 #[test]
 fn fault_campaign_same_chip_multi_faults() {
     with_seeds("fault_campaign_same_chip_multi_faults", 4, |seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stream = FaultStream::seeded(seed);
         for _ in 0..trials() {
-            let original = random_word(&mut rng);
+            let original = random_word(stream.rng());
             let parity = column_parity(&original.word);
-            let chip = rng.gen_range(0..TOTAL_CHIPS as u8);
+            let chip = stream.rng().gen_range(0..TOTAL_CHIPS as u8);
             let mut trial = original;
-            let n_faults = rng.gen_range(2usize..5);
+            let n_faults = stream.rng().gen_range(2usize..5);
             let mut faults = Vec::new();
             for _ in 0..n_faults {
-                let mut f = Fault::random(&mut rng);
+                let mut f = stream.next_fault();
                 while f.chip() != usize::from(chip) {
-                    f = Fault::random(&mut rng);
+                    f = stream.next_fault();
                 }
                 faults.push(f);
-                inject(&mut trial.word, f, &mut rng);
+                inject(&mut trial.word, f, stream.rng());
             }
             match classify(&original.word, &trial, parity) {
                 TrialOutcome::Corrected { chip: c, .. } => assert!(
@@ -109,18 +109,18 @@ fn fault_campaign_same_chip_multi_faults() {
 #[test]
 fn fault_campaign_multi_chip_faults_detected() {
     with_seeds("fault_campaign_multi_chip_faults_detected", 4, |seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stream = FaultStream::seeded(seed);
         for _ in 0..trials() {
-            let original = random_word(&mut rng);
+            let original = random_word(stream.rng());
             let parity = column_parity(&original.word);
             let mut trial = original;
-            let first = Fault::random(&mut rng);
-            inject(&mut trial.word, first, &mut rng);
-            let mut second = Fault::random(&mut rng);
+            let first = stream.next_fault();
+            inject(&mut trial.word, first, stream.rng());
+            let mut second = stream.next_fault();
             while second.chip() == first.chip() {
-                second = Fault::random(&mut rng);
+                second = stream.next_fault();
             }
-            inject(&mut trial.word, second, &mut rng);
+            inject(&mut trial.word, second, stream.rng());
             let outcome = classify(&original.word, &trial, parity);
             assert_eq!(
                 outcome,
@@ -141,16 +141,16 @@ fn fault_campaign_multi_chip_faults_detected() {
 #[test]
 fn fault_campaign_shared_parity_cross_rank() {
     with_seeds("fault_campaign_shared_parity_cross_rank", 4, |seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stream = FaultStream::seeded(seed);
         for _ in 0..trials() / 4 {
-            let target = random_word(&mut rng);
-            let companions: Vec<_> = (0..rng.gen_range(1usize..8))
-                .map(|_| random_word(&mut rng).word)
+            let target = random_word(stream.rng());
+            let companions: Vec<_> = (0..stream.rng().gen_range(1usize..8))
+                .map(|_| random_word(stream.rng()).word)
                 .collect();
             let shared = shared_parity(companions.iter().chain(std::iter::once(&target.word)));
-            let fault = Fault::random(&mut rng);
+            let fault = stream.next_fault();
             let mut corrupted = target.word;
-            inject(&mut corrupted, fault, &mut rng);
+            inject(&mut corrupted, fault, stream.rng());
 
             // Clean companions: correction succeeds through the shared word.
             let (correction, fixed) = correct_shared(
@@ -175,13 +175,13 @@ fn fault_campaign_shared_parity_cross_rank() {
             // A simultaneously-corrupted companion poisons the recovered
             // parity: decode must refuse, not fabricate data.
             let mut bad_companions = companions.clone();
-            let victim = rng.gen_range(0..bad_companions.len());
+            let victim = stream.rng().gen_range(0..bad_companions.len());
             inject(
                 &mut bad_companions[victim],
                 Fault::Chip {
-                    chip: rng.gen_range(0..TOTAL_CHIPS as u8),
+                    chip: stream.rng().gen_range(0..TOTAL_CHIPS as u8),
                 },
-                &mut rng,
+                stream.rng(),
             );
             let (correction, fixed) = correct_shared(
                 &corrupted,

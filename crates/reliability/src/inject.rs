@@ -10,8 +10,29 @@
 //! single-bit upsets, single-pin (column) faults, and whole-chip faults
 //! (the chipkill case).
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Environment variable pinning every fault-campaign RNG to one seed —
+/// the same knob the oracle's `with_seeds` replay machinery honors.
+pub const SEED_ENV: &str = "ITESP_TEST_SEED";
+
+/// The seed a fault campaign should use: the `ITESP_TEST_SEED` override
+/// if set, otherwise `default`.
+///
+/// # Panics
+/// Panics if the variable is set but not a `u64` (a silently ignored
+/// typo would un-pin a replay).
+pub fn env_seed(default: u64) -> u64 {
+    match std::env::var(SEED_ENV) {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{SEED_ENV} not a u64: {s:?}")),
+        Err(_) => default,
+    }
+}
 
 /// Data chips in a x8 rank.
 pub const DATA_CHIPS: usize = 8;
@@ -102,6 +123,55 @@ impl Fault {
                 chip: rng.gen_range(0..TOTAL_CHIPS as u8),
             },
         }
+    }
+}
+
+/// A seeded, replayable stream of random faults — the single RNG front
+/// door for every fault campaign (runtime RAS pipeline and oracle
+/// alike), so `ITESP_TEST_SEED` pins them all to the same sequence.
+#[derive(Debug, Clone)]
+pub struct FaultStream {
+    seed: u64,
+    rng: StdRng,
+}
+
+impl FaultStream {
+    /// A stream drawing from exactly `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultStream {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A stream seeded from [`env_seed`]: the `ITESP_TEST_SEED`
+    /// override if set, otherwise `default`.
+    pub fn from_env(default: u64) -> Self {
+        Self::seeded(env_seed(default))
+    }
+
+    /// The seed this stream was built from (for replay lines).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draw the next fault.
+    pub fn next_fault(&mut self) -> Fault {
+        Fault::random(&mut self.rng)
+    }
+
+    /// The underlying RNG, for injection garbage and auxiliary draws
+    /// that must stay on the replayable sequence.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl Iterator for FaultStream {
+    type Item = Fault;
+
+    fn next(&mut self) -> Option<Fault> {
+        Some(self.next_fault())
     }
 }
 
@@ -248,5 +318,25 @@ mod tests {
             inject(&mut w, f, &mut rng);
             assert_ne!(w, word(), "fault {f:?} changed nothing");
         }
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_per_seed() {
+        let a: Vec<Fault> = FaultStream::seeded(42).take(64).collect();
+        let b: Vec<Fault> = FaultStream::seeded(42).take(64).collect();
+        assert_eq!(a, b, "same seed must replay the same faults");
+        let c: Vec<Fault> = FaultStream::seeded(43).take(64).collect();
+        assert_ne!(a, c, "different seeds must diverge");
+        assert_eq!(FaultStream::seeded(42).seed(), 42);
+    }
+
+    #[test]
+    fn fault_stream_matches_bare_rng_draws() {
+        // The stream is exactly `Fault::random` over a seeded StdRng, so
+        // pre-stream campaigns that drew directly replay identically.
+        let mut rng = StdRng::seed_from_u64(7);
+        let direct: Vec<Fault> = (0..32).map(|_| Fault::random(&mut rng)).collect();
+        let streamed: Vec<Fault> = FaultStream::seeded(7).take(32).collect();
+        assert_eq!(direct, streamed);
     }
 }

@@ -14,6 +14,7 @@ use itesp_core::{EngineConfig, Scheme};
 use itesp_dram::{AddressMapping, DramConfig};
 use itesp_trace::{Benchmark, MultiProgram};
 
+use crate::ras::{RasConfig, RasError};
 use crate::stats::RunResult;
 use crate::system::{System, SystemConfig};
 
@@ -113,6 +114,22 @@ pub fn run_workload(mp: &MultiProgram, p: ExperimentParams) -> RunResult {
     let engine = p.engine_config(&dram);
     let cfg = SystemConfig::table_iii(dram, engine);
     System::new(cfg, mp).run()
+}
+
+/// Run a pre-built workload with the online RAS pipeline enabled.
+///
+/// # Errors
+/// The first [`RasError`] raised when [`RasConfig::halt_on_due`] is
+/// set.
+pub fn run_workload_ras(
+    mp: &MultiProgram,
+    p: ExperimentParams,
+    ras: RasConfig,
+) -> Result<RunResult, RasError> {
+    let dram = p.dram_config();
+    let engine = p.engine_config(&dram);
+    let cfg = SystemConfig::table_iii(dram, engine).with_ras(ras);
+    System::new(cfg, mp).try_run()
 }
 
 /// Run one benchmark by name.

@@ -7,6 +7,8 @@
 //! ([`itesp-dram`]).
 //!
 //! * [`system`] — cores, ROBs, metadata/DRAM glue, the main loop;
+//! * [`ras`] — the online RAS pipeline: fault injection, correction
+//!   traffic, patrol scrub, and page retirement;
 //! * [`stats`] — run results and normalized metrics;
 //! * [`experiments`] — canned parameter sets for every figure;
 //! * [`covert`] — the Figure 5 covert-channel demonstration.
@@ -22,10 +24,14 @@
 
 pub mod covert;
 pub mod experiments;
+pub mod ras;
 pub mod stats;
 pub mod system;
 
 pub use covert::{run_channel, ChannelPoint, CovertConfig, LatencyRange};
-pub use experiments::{run_experiment, run_named, run_workload, try_run_named, ExperimentParams};
+pub use experiments::{
+    run_experiment, run_named, run_workload, run_workload_ras, try_run_named, ExperimentParams,
+};
+pub use ras::{Drill, RasConfig, RasError, RasStats};
 pub use stats::RunResult;
 pub use system::{System, SystemConfig, CPU_PER_DRAM_CYCLE};

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use itesp_core::{CacheStats, EngineStats, SecurityEngine};
 use itesp_dram::{ChannelStats, EnergyBreakdown, MemorySystem};
 
+use crate::ras::RasStats;
 use crate::system::CPU_PER_DRAM_CYCLE;
 
 /// Everything measured in one simulation run.
@@ -26,6 +27,8 @@ pub struct RunResult {
     pub energy: EnergyBreakdown,
     /// Writes emitted by the end-of-run metadata drain (bookkeeping).
     pub drained_writes: u64,
+    /// Online RAS pipeline statistics (all zeros when RAS was off).
+    pub ras: RasStats,
 }
 
 impl RunResult {
@@ -36,6 +39,7 @@ impl RunResult {
         engine: &SecurityEngine,
         mem: &MemorySystem,
         drained_writes: u64,
+        ras: RasStats,
     ) -> Self {
         let dram_cycles = cycles / CPU_PER_DRAM_CYCLE;
         RunResult {
@@ -47,6 +51,7 @@ impl RunResult {
             dram: mem.stats(),
             energy: mem.energy(dram_cycles),
             drained_writes,
+            ras,
         }
     }
 
@@ -108,6 +113,7 @@ mod tests {
                 ..Default::default()
             },
             drained_writes: 0,
+            ras: RasStats::default(),
         }
     }
 

@@ -12,10 +12,11 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use itesp_core::{EngineConfig, MetaAccess, SecurityEngine};
+use itesp_core::{EngineConfig, MetaAccess, SecurityEngine, TreeKind};
 use itesp_dram::{DramConfig, IssuedCommand, MemorySystem, RequestId};
 use itesp_trace::{MemOp, MultiProgram, PhysRecord, PAGE_BYTES};
 
+use crate::ras::{RasConfig, RasEngine, RasError, RasStats, ReadCheck};
 use crate::stats::RunResult;
 
 /// CPU cycles per DRAM bus cycle (3.2 GHz core, 800 MHz DDR3 bus).
@@ -32,6 +33,9 @@ pub struct SystemConfig {
     pub width: u64,
     /// Safety valve: abort after this many CPU cycles (0 = unlimited).
     pub max_cycles: u64,
+    /// Online RAS pipeline (fault injection, correction traffic, patrol
+    /// scrub, page retirement); `None` = faults off, zero overhead.
+    pub ras: Option<RasConfig>,
 }
 
 impl SystemConfig {
@@ -43,7 +47,14 @@ impl SystemConfig {
             rob_size: 64,
             width: 4,
             max_cycles: 0,
+            ras: None,
         }
+    }
+
+    /// Enable the online RAS pipeline.
+    pub fn with_ras(mut self, ras: RasConfig) -> Self {
+        self.ras = Some(ras);
+        self
     }
 }
 
@@ -121,6 +132,15 @@ impl Core {
     }
 }
 
+/// Per-core first-touch leaf-id assignment: physical page -> leaf id.
+/// `next` outlives removals and retirement remaps, so a retired page's
+/// fresh leaf id never collides with a live one.
+#[derive(Debug, Clone, Default)]
+struct LeafMap {
+    map: HashMap<u64, u64>,
+    next: u64,
+}
+
 /// The assembled system.
 pub struct System {
     cfg: SystemConfig,
@@ -130,6 +150,17 @@ pub struct System {
     tags: HashMap<RequestId, ReqTag>,
     /// Metadata (and data-write) transactions waiting for queue space.
     pending_meta: VecDeque<(u64, bool)>,
+    /// First-touch leaf-id maps, one per core; the RAS retirement path
+    /// remaps entries, which is why they live on the system.
+    leaf_maps: Vec<LeafMap>,
+    /// Online RAS pipeline, if configured (`take`n during hooks to keep
+    /// the borrow checker happy).
+    ras: Option<RasEngine>,
+    /// Where each DRAM data block's metadata lives: block address ->
+    /// (partition, engine-domain block), for recovery parity lookups on
+    /// patrol reads.
+    ras_loc: HashMap<u64, (usize, u64)>,
+    isolated: bool,
     cycle: u64,
 }
 
@@ -138,7 +169,17 @@ impl System {
     pub fn new(cfg: SystemConfig, workload: &MultiProgram) -> Self {
         let mem = MemorySystem::new(cfg.dram);
         let engine = SecurityEngine::new(cfg.engine);
-        let cores = workload.traces.iter().cloned().map(Core::new).collect();
+        let cores: Vec<Core> = workload.traces.iter().cloned().map(Core::new).collect();
+        let isolated = engine.spec().isolated;
+        let ras = cfg.ras.clone().map(|rc| {
+            RasEngine::new(
+                rc,
+                engine.parity_group_share(),
+                cfg.engine.rank_stride_blocks,
+                engine.spec().tree != TreeKind::None,
+            )
+        });
+        let leaf_maps = vec![LeafMap::default(); cores.len()];
         System {
             cfg,
             mem,
@@ -146,6 +187,10 @@ impl System {
             cores,
             tags: HashMap::new(),
             pending_meta: VecDeque::new(),
+            leaf_maps,
+            ras,
+            ras_loc: HashMap::new(),
+            isolated,
             cycle: 0,
         }
     }
@@ -155,37 +200,90 @@ impl System {
     /// produced by first-touch allocation, so per-enclave leaf pages are
     /// recovered from the shared mapper at composition time; here we
     /// derive them from the physical page directly via a per-core map.
-    fn enclave_block(leaf_pages: &mut HashMap<u64, u64>, paddr: u64) -> u64 {
+    fn enclave_block(lm: &mut LeafMap, paddr: u64) -> u64 {
         let page = paddr / PAGE_BYTES;
-        let next = leaf_pages.len() as u64;
-        let leaf = *leaf_pages.entry(page).or_insert(next);
+        let leaf = match lm.map.get(&page) {
+            Some(&l) => l,
+            None => {
+                let l = lm.next;
+                lm.map.insert(page, l);
+                lm.next += 1;
+                l
+            }
+        };
         leaf * (PAGE_BYTES / 64) + (paddr % PAGE_BYTES) / 64
+    }
+
+    /// The DRAM frame currently backing `paddr` (identity unless the
+    /// RAS pipeline has retired its page).
+    fn frame_addr(&self, paddr: u64) -> u64 {
+        self.ras.as_ref().map_or(paddr, |r| r.translate(paddr))
     }
 
     /// Run to completion; returns the collected results.
     ///
     /// # Panics
+    /// Panics if `max_cycles` is exceeded (deadlock guard), or on a
+    /// fatal RAS error when `halt_on_due` is set — use
+    /// [`try_run`](Self::try_run) to handle that as a typed error.
+    pub fn run(self) -> RunResult {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("fatal RAS error: {e}"))
+    }
+
+    /// Run to completion, reporting a fatal RAS error (uncorrectable or
+    /// retirement-degraded block under `halt_on_due`) as a typed error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    /// The first [`RasError`] raised when [`RasConfig::halt_on_due`] is
+    /// set.
+    ///
+    /// # Panics
     /// Panics if `max_cycles` is exceeded (deadlock guard).
-    pub fn run(mut self) -> RunResult {
+    pub fn try_run(mut self) -> Result<RunResult, RasError> {
         self.run_loop();
-        self.finish_run()
+        self.take_fatal()?;
+        Ok(self.finish_run())
     }
 
     /// Like [`run`](Self::run), but records every DRAM command issued
     /// during the run and returns the per-channel logs plus the last
     /// DRAM cycle, so an external protocol checker can validate the
     /// whole stack's command stream.
-    pub fn run_logged(mut self) -> (RunResult, Vec<Vec<IssuedCommand>>, u64) {
+    pub fn run_logged(self) -> (RunResult, Vec<Vec<IssuedCommand>>, u64) {
+        self.try_run_logged()
+            .unwrap_or_else(|e| panic!("fatal RAS error: {e}"))
+    }
+
+    /// [`run_logged`](Self::run_logged) with fatal RAS errors reported
+    /// as typed errors.
+    ///
+    /// # Errors
+    /// The first [`RasError`] raised when [`RasConfig::halt_on_due`] is
+    /// set.
+    ///
+    /// # Panics
+    /// Panics if `max_cycles` is exceeded (deadlock guard).
+    #[allow(clippy::type_complexity)]
+    pub fn try_run_logged(mut self) -> Result<(RunResult, Vec<Vec<IssuedCommand>>, u64), RasError> {
         self.mem.enable_cmd_logs();
         self.run_loop();
+        self.take_fatal()?;
         let logs = self.mem.take_cmd_logs();
         let end = self.cycle.saturating_sub(1) / CPU_PER_DRAM_CYCLE;
-        (self.finish_run(), logs, end)
+        Ok((self.finish_run(), logs, end))
+    }
+
+    fn take_fatal(&mut self) -> Result<(), RasError> {
+        match self.ras.as_mut().and_then(|r| r.fatal.take()) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn run_loop(&mut self) {
         let ncores = self.cores.len();
-        let mut leaf_maps: Vec<HashMap<u64, u64>> = vec![HashMap::new(); ncores];
         let limit = if self.cfg.max_cycles == 0 {
             u64::MAX
         } else {
@@ -194,10 +292,14 @@ impl System {
 
         while !self.all_done() {
             assert!(self.cycle < limit, "simulation exceeded max_cycles");
+            if self.ras.as_ref().is_some_and(|r| r.fatal.is_some()) {
+                break; // halt_on_due: stop issuing, report the error
+            }
 
             // Memory ticks at the DRAM clock.
             if self.cycle.is_multiple_of(CPU_PER_DRAM_CYCLE) {
                 let dram_now = self.cycle / CPU_PER_DRAM_CYCLE;
+                self.ras_tick(dram_now);
                 self.drain_pending_meta(dram_now);
                 self.mem.tick(dram_now);
                 for c in self.mem.take_completions() {
@@ -213,14 +315,159 @@ impl System {
                 }
             }
 
-            #[allow(clippy::needless_range_loop)] // indices feed two disjoint borrows
             for core_idx in 0..ncores {
                 self.retire(core_idx);
-                self.fetch(core_idx, &mut leaf_maps[core_idx]);
+                self.fetch(core_idx);
             }
 
             self.try_fast_forward();
             self.cycle += 1;
+        }
+    }
+
+    /// One DRAM-cycle step of the RAS pipeline: execute deferred page
+    /// retirements, then advance the fault process and issue the patrol
+    /// reads due this cycle. Issuance stops once every core has
+    /// finished so the run can drain.
+    fn ras_tick(&mut self, dram_now: u64) {
+        let Some(mut ras) = self.ras.take() else {
+            return;
+        };
+        for page in std::mem::take(&mut ras.pending_retires) {
+            self.do_retire(&mut ras, page);
+        }
+        if !self.cores.iter().all(Core::done) {
+            for addr in ras.tick(dram_now) {
+                ras.stats.patrol_reads += 1;
+                self.pending_meta.push_back((addr, false));
+                let check = ras.check_read(addr, self.mem.decoder(), dram_now);
+                self.apply_check(&mut ras, addr, check);
+            }
+        }
+        self.ras = Some(ras);
+    }
+
+    /// RAS hook on a demand access: record the block's metadata
+    /// location, register it with the fault process, and (for reads)
+    /// check it against the live fault state.
+    fn ras_on_demand(&mut self, ci: usize, paddr: u64, daddr: u64, eb: u64, is_write: bool) {
+        let Some(mut ras) = self.ras.take() else {
+            return;
+        };
+        let loc = if self.isolated {
+            (ci, eb)
+        } else {
+            (0, paddr / 64)
+        };
+        self.ras_loc.insert(daddr & !63, loc);
+        ras.on_data_access(daddr, is_write);
+        if !is_write {
+            let dram_now = self.cycle / CPU_PER_DRAM_CYCLE;
+            let check = ras.check_read(daddr, self.mem.decoder(), dram_now);
+            self.apply_check(&mut ras, daddr, check);
+        }
+        self.ras = Some(ras);
+    }
+
+    /// Turn a read-check outcome into recovery traffic: the parity
+    /// fetch, the cross-rank companion reads (shared parity), and —
+    /// when correction succeeded — the corrected-data writeback
+    /// (demand scrub). A failed reconstruction still pays for the
+    /// attempt; it just has nothing to write back.
+    fn apply_check(&mut self, ras: &mut RasEngine, addr: u64, check: ReadCheck) {
+        match check {
+            ReadCheck::Corrected { companions } => {
+                self.queue_recovery(ras, addr, &companions);
+                ras.stats.scrub_writebacks += 1;
+                self.pending_meta.push_back((addr, true));
+            }
+            ReadCheck::Due { companions } => {
+                self.queue_recovery(ras, addr, &companions);
+            }
+            ReadCheck::Clean
+            | ReadCheck::Benign
+            | ReadCheck::Silent
+            | ReadCheck::DetectedOnly
+            | ReadCheck::Degraded => {}
+        }
+    }
+
+    fn queue_recovery(&mut self, ras: &mut RasEngine, addr: u64, companions: &[u64]) {
+        if let Some(line) = self.parity_line_for(addr) {
+            ras.stats.parity_reads += 1;
+            self.pending_meta.push_back((line, false));
+        }
+        for &c in companions {
+            ras.stats.companion_reads += 1;
+            self.pending_meta.push_back((c, false));
+        }
+    }
+
+    /// The DRAM line holding the recovery parity covering `addr`, per
+    /// the configured scheme's metadata layout.
+    fn parity_line_for(&self, addr: u64) -> Option<u64> {
+        let block = addr & !63;
+        let (part, rblock) = self.ras_loc.get(&block).copied().unwrap_or((0, block / 64));
+        self.engine.recovery_parity_addr(part, rblock)
+    }
+
+    /// Execute one page retirement: emit the migration traffic, remap
+    /// the page's leaf id (a fresh id, exercising the indirection
+    /// layer), update metadata locations for the moved blocks, and
+    /// rebuild or degrade parity groups that span the page boundary.
+    fn do_retire(&mut self, ras: &mut RasEngine, page: u64) {
+        let (orig, moves, affected) = ras.retire_page(page);
+        for &(old, new) in &moves {
+            ras.stats.migration_reads += 1;
+            ras.stats.migration_writes += 1;
+            self.pending_meta.push_back((old, false));
+            self.pending_meta.push_back((new, true));
+        }
+
+        // The indirection layer assigns the page a fresh leaf id so the
+        // per-enclave metadata follows the migrated data.
+        let mut remap = None;
+        for (ci, lm) in self.leaf_maps.iter_mut().enumerate() {
+            if let Some(leaf) = lm.map.get_mut(&orig) {
+                *leaf = lm.next;
+                remap = Some((ci, lm.next));
+                lm.next += 1;
+                break;
+            }
+        }
+        let bpp = PAGE_BYTES / 64; // blocks per page
+        for &(old, new) in &moves {
+            let off = (old % PAGE_BYTES) / 64;
+            let prev = self.ras_loc.remove(&old);
+            let loc = if self.isolated {
+                match remap {
+                    Some((ci, leaf)) => (ci, leaf * bpp + off),
+                    None => match prev {
+                        Some(l) => l,
+                        None => continue,
+                    },
+                }
+            } else {
+                (0, orig * bpp + off)
+            };
+            self.ras_loc.insert(new, loc);
+        }
+
+        for gid in affected {
+            if ras.cfg.rebuild_parity_on_retire {
+                let members = ras.group_members_outside(gid, page);
+                let line = members.first().and_then(|&m| self.parity_line_for(m));
+                for m in members {
+                    ras.stats.parity_rebuild_reads += 1;
+                    self.pending_meta.push_back((m, false));
+                }
+                if let Some(line) = line {
+                    ras.stats.parity_rebuild_writes += 1;
+                    self.pending_meta.push_back((line, true));
+                }
+            } else {
+                ras.break_group(gid);
+            }
         }
     }
 
@@ -291,10 +538,19 @@ impl System {
     /// Fetch up to `width` instructions into the ROB; memory ops issue
     /// their DRAM and metadata traffic here (reads) or at retire
     /// (writes, via `blocked_write` when the queue is full).
-    fn fetch(&mut self, ci: usize, leaf_map: &mut HashMap<u64, u64>) {
+    fn fetch(&mut self, ci: usize) {
         if self.cores[ci].stall_until > self.cycle {
             return;
         }
+        // The leaf map steps aside so fetch can borrow the rest of the
+        // system mutably; retirement remaps run at DRAM ticks, never
+        // inside fetch, so this window is safe.
+        let mut lm = std::mem::take(&mut self.leaf_maps[ci]);
+        self.fetch_with(ci, &mut lm);
+        self.leaf_maps[ci] = lm;
+    }
+
+    fn fetch_with(&mut self, ci: usize, lm: &mut LeafMap) {
         let dram_now = self.cycle / CPU_PER_DRAM_CYCLE;
         let mut budget = self.cfg.width;
         while budget > 0 {
@@ -316,10 +572,14 @@ impl System {
                 core.advance_record();
                 continue;
             }
-            // Fetch the record's memory operation (one ROB slot).
+            // Fetch the record's memory operation (one ROB slot). The
+            // engine sees the original physical address (metadata is
+            // keyed by it); DRAM sees the frame currently backing it.
             let rec = core.trace[core.pos];
             let is_write = rec.op == MemOp::Write;
-            let eb = Self::enclave_block(leaf_map, rec.paddr);
+            let eb = Self::enclave_block(lm, rec.paddr);
+            let daddr = self.frame_addr(rec.paddr);
+            let core = &mut self.cores[ci];
             if is_write {
                 // Writes retire into the write queue; metadata issues now.
                 let rob_pos = core.fetched;
@@ -327,21 +587,22 @@ impl System {
                 core.op_issued = true;
                 budget -= 1;
                 let _ = rob_pos;
-                let ok = self.mem.enqueue_write(rec.paddr, dram_now).is_ok();
+                let ok = self.mem.enqueue_write(daddr, dram_now).is_ok();
                 if !ok {
-                    self.cores[ci].blocked_write = Some(rec.paddr);
+                    self.cores[ci].blocked_write = Some(daddr);
                 }
                 let out = self.engine.on_access(ci, rec.paddr, eb, true);
                 if out.stall_cycles > 0 {
                     self.cores[ci].stall_until = self.cycle + out.stall_cycles;
                 }
                 self.queue_meta(&out.mem);
+                self.ras_on_demand(ci, rec.paddr, daddr, eb, true);
                 if self.cores[ci].blocked_write.is_some() {
                     break; // can't run ahead past a blocked write
                 }
             } else {
                 // Reads need queue space at fetch.
-                match self.mem.enqueue_read(rec.paddr, dram_now) {
+                match self.mem.enqueue_read(daddr, dram_now) {
                     Ok(id) => {
                         let rob_pos = core.fetched;
                         core.fetched += 1;
@@ -357,6 +618,7 @@ impl System {
                             self.cores[ci].stall_until = self.cycle + out.stall_cycles;
                         }
                         self.queue_meta(&out.mem);
+                        self.ras_on_demand(ci, rec.paddr, daddr, eb, false);
                     }
                     Err(_) => break, // fetch stalls on a full read queue
                 }
@@ -387,6 +649,12 @@ impl System {
             }
             let insts = c.gap_left + (c.fetched - c.retired);
             jump = jump.min(insts / (2 * self.cfg.width));
+        }
+        // The RAS fault process needs the clock at its next arrival,
+        // drill, or patrol slot: never jump past it.
+        if let Some(ras) = &self.ras {
+            let ev_cpu = ras.next_event(false).saturating_mul(CPU_PER_DRAM_CYCLE);
+            jump = jump.min(ev_cpu.saturating_sub(self.cycle));
         }
         if jump == u64::MAX || jump < 8 {
             return;
@@ -420,12 +688,27 @@ impl System {
         let leftovers = self.engine.drain();
         let extra_writes = leftovers.len() as u64;
 
+        let ras = match self.ras.as_mut() {
+            Some(r) => {
+                r.finalize_stats();
+                r.stats.clone()
+            }
+            None => RasStats::default(),
+        };
+
         let finishes: Vec<u64> = self
             .cores
             .iter()
             .map(|c| c.finish.unwrap_or(self.cycle))
             .collect();
-        RunResult::collect(self.cycle, finishes, &self.engine, &self.mem, extra_writes)
+        RunResult::collect(
+            self.cycle,
+            finishes,
+            &self.engine,
+            &self.mem,
+            extra_writes,
+            ras,
+        )
     }
 }
 

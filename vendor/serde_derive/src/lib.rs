@@ -135,9 +135,7 @@ impl Item {
                 let inits: String = fields
                     .iter()
                     .map(|f| {
-                        format!(
-                            "{f}: serde_json::FromValue::from_value(v.field(\"{f}\")?)?, "
-                        )
+                        format!("{f}: serde_json::FromValue::from_value(v.field(\"{f}\")?)?, ")
                     })
                     .collect();
                 format!("Ok({name} {{ {inits} }})")

@@ -44,7 +44,10 @@ impl Value {
                 .find(|(k, _)| k == key)
                 .map(|(_, v)| v)
                 .ok_or_else(|| format!("missing field {key:?}")),
-            other => Err(format!("expected object with field {key:?}, got {}", other.kind())),
+            other => Err(format!(
+                "expected object with field {key:?}, got {}",
+                other.kind()
+            )),
         }
     }
 
@@ -334,7 +337,10 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number token");
@@ -493,7 +499,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed_documents() {
-        for bad in ["", "{", "[1,]", "{\"a\":}", "nul", "1 2", "\"\\q\"", "\"unterminated"] {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "nul",
+            "1 2",
+            "\"\\q\"",
+            "\"unterminated",
+        ] {
             assert!(from_str(bad).is_err(), "accepted {bad:?}");
         }
     }
@@ -511,7 +526,10 @@ mod tests {
         // u64::MAX does not fit in f64; the raw-token representation
         // must still recover it exactly.
         let json = to_string(&u64::MAX).unwrap();
-        assert_eq!(u64::from_value(&from_str(&json).unwrap()).unwrap(), u64::MAX);
+        assert_eq!(
+            u64::from_value(&from_str(&json).unwrap()).unwrap(),
+            u64::MAX
+        );
 
         for x in [0.1f64, 1.0 / 3.0, 2.0, -0.0, 1e300, f64::MIN_POSITIVE] {
             let json = to_string(&x).unwrap();
