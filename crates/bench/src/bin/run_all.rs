@@ -21,7 +21,7 @@ use serde::Serialize;
 
 const TARGETS: &[&str] = &[
     "tab01", "tab02", "fig02", "fig03", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12",
-    "fig13", "fig15", "figras",
+    "fig13", "fig15", "figras", "figchurn",
 ];
 
 #[derive(Serialize)]

@@ -70,6 +70,20 @@ impl CacheStats {
     }
 }
 
+/// Largest capacity no greater than `budget_bytes` that [`MetaCache`]
+/// accepts at `ways` associativity: a power-of-two number of sets of
+/// `ways * 64` bytes each, never less than one set. Cache repartitioning
+/// sizes every partition through this, so redistribution is a pure
+/// function of the live-partition set.
+pub fn largest_valid_capacity(budget_bytes: usize, ways: usize) -> usize {
+    assert!(ways > 0, "associativity must be positive");
+    let set_bytes = ways * 64;
+    let sets = (budget_bytes / set_bytes).max(1);
+    // Round down to a power of two.
+    let sets = 1usize << (usize::BITS - 1 - sets.leading_zeros());
+    sets * set_bytes
+}
+
 /// A write-back, LRU, set-associative cache of 64-byte blocks.
 #[derive(Debug, Clone)]
 pub struct MetaCache {
@@ -173,6 +187,87 @@ impl MetaCache {
             .any(|l| l.valid && l.tag == block)
     }
 
+    /// Resize to `capacity_bytes` (same associativity), preserving
+    /// resident lines. Lines are re-inserted most-recently-used first:
+    /// growth re-homes every line without evicting anything (an old
+    /// set's occupants spread across the new sets that its index bits
+    /// split into), while shrinking keeps each new set's MRU lines and
+    /// spills the rest. Dirty spills are returned for writeback.
+    ///
+    /// # Panics
+    /// Panics on capacities [`MetaCache::new`] would reject.
+    pub fn resize(&mut self, capacity_bytes: usize) -> Vec<u64> {
+        if capacity_bytes == self.capacity_bytes() {
+            return Vec::new();
+        }
+        let blocks = capacity_bytes / 64;
+        assert!(
+            blocks >= self.ways && blocks.is_multiple_of(self.ways),
+            "capacity {capacity_bytes} incompatible with {} ways",
+            self.ways
+        );
+        let sets = blocks / self.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let old = std::mem::replace(&mut self.lines, vec![Line::default(); blocks]);
+        self.sets = sets;
+        let mut live: Vec<Line> = old.into_iter().filter(|l| l.valid).collect();
+        live.sort_by_key(|l| std::cmp::Reverse(l.last_use));
+        let mut spilled = Vec::new();
+        for line in live {
+            let set = (line.tag as usize) & (self.sets - 1);
+            let base = set * self.ways;
+            match self.lines[base..base + self.ways]
+                .iter_mut()
+                .find(|l| !l.valid)
+            {
+                Some(slot) => *slot = line,
+                None => {
+                    self.stats.evicted_blocks += 1;
+                    self.stats.evicted_block_hits += line.hits_since_fill;
+                    if line.dirty {
+                        self.stats.writebacks += 1;
+                        spilled.push(line.tag << 6);
+                    }
+                }
+            }
+        }
+        spilled
+    }
+
+    /// Drop the line holding `addr` if resident, discarding dirty
+    /// contents (the caller is superseding them in memory, e.g. a
+    /// counter reset on page free). Returns whether a line was dropped.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let block = addr >> 6;
+        let set = (block as usize) & (self.sets - 1);
+        let set_lines = &mut self.lines[set * self.ways..(set + 1) * self.ways];
+        if let Some(l) = set_lines.iter_mut().find(|l| l.valid && l.tag == block) {
+            self.stats.evicted_blocks += 1;
+            self.stats.evicted_block_hits += l.hits_since_fill;
+            *l = Line::default();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidate everything *without* writing dirty lines back:
+    /// secure-teardown semantics, where the contents are dead and the
+    /// zeroize traffic is charged separately. Returns how many dirty
+    /// lines were discarded.
+    pub fn discard(&mut self) -> usize {
+        let mut dropped = 0;
+        for l in &mut self.lines {
+            if l.valid {
+                self.stats.evicted_blocks += 1;
+                self.stats.evicted_block_hits += l.hits_since_fill;
+                dropped += usize::from(l.dirty);
+            }
+            *l = Line::default();
+        }
+        dropped
+    }
+
     /// Invalidate everything, keeping statistics.
     pub fn flush(&mut self) -> Vec<u64> {
         let mut dirty = Vec::new();
@@ -232,6 +327,18 @@ impl PartitionedCache {
 
     pub fn partition_mut(&mut self, e: usize) -> &mut MetaCache {
         &mut self.partitions[e]
+    }
+
+    /// Resize partition `e` in place (see [`MetaCache::resize`]); the
+    /// other partitions are untouched, so repartitioning can never
+    /// evict another enclave's lines.
+    pub fn resize_partition(&mut self, e: usize, capacity_bytes: usize) -> Vec<u64> {
+        self.partitions[e].resize(capacity_bytes)
+    }
+
+    /// Current capacity of every partition, in bytes.
+    pub fn capacities(&self) -> Vec<usize> {
+        self.partitions.iter().map(|p| p.capacity_bytes()).collect()
     }
 
     /// Statistics merged across partitions.
@@ -429,6 +536,138 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "flush must drain identical dirty sets");
+    }
+
+    #[test]
+    fn largest_valid_capacity_rounds_down_to_a_legal_slice() {
+        // 4 ways: one set is 256 B. 5000 B -> 19 sets -> 16 sets.
+        assert_eq!(largest_valid_capacity(5000, 4), 16 * 256);
+        // Exact powers of two pass through.
+        assert_eq!(largest_valid_capacity(4096, 4), 4096);
+        // Sub-set budgets clamp to the one-set minimum.
+        assert_eq!(largest_valid_capacity(10, 4), 256);
+        // The result is always accepted by the constructor.
+        for budget in [10, 300, 511, 512, 513, 5000, 65536, 100_000] {
+            let _ = MetaCache::new(largest_valid_capacity(budget, 4), 4);
+        }
+    }
+
+    /// Growing a partition re-homes every resident line: nothing is
+    /// lost, nothing spilled, and hits keep coming at the new geometry.
+    #[test]
+    fn resize_growth_preserves_all_lines() {
+        let mut c = MetaCache::new(512, 2); // 4 sets
+        let addrs: Vec<u64> = (0..8).map(|i| i * 64).collect();
+        for &a in &addrs {
+            c.access(a, true);
+        }
+        let spilled = c.resize(2048); // 16 sets
+        assert!(spilled.is_empty(), "growth must never evict");
+        assert_eq!(c.stats().evicted_blocks, 0);
+        for &a in &addrs {
+            assert!(c.probe(a), "line {a:#x} lost across growth");
+        }
+    }
+
+    /// Shrinking keeps the MRU lines and spills the LRU tail; the dirty
+    /// spills come back for writeback and the choice is deterministic.
+    #[test]
+    fn resize_shrink_spills_lru_tail_deterministically() {
+        let build = || {
+            let mut c = MetaCache::new(512, 2); // 4 sets, 8 lines
+            for i in 0..8u64 {
+                c.access(i * 64, true);
+            }
+            c
+        };
+        let mut a = build();
+        let mut b = build();
+        let (mut sa, mut sb) = (a.resize(128), b.resize(128)); // down to 1 set
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb, "same state must repartition identically");
+        // 1 set x 2 ways: the two most recent fills (blocks 6, 7) stay.
+        assert!(a.probe(6 * 64) && a.probe(7 * 64));
+        assert_eq!(
+            sa,
+            vec![0, 64, 128, 192, 256, 320],
+            "older dirty lines spill"
+        );
+    }
+
+    /// Satellite invariant: destroying an enclave and redistributing its
+    /// ways must never evict a *surviving* partition's lines — only the
+    /// resized partition itself may spill, and regrowth spills nothing.
+    #[test]
+    fn repartition_never_evicts_other_partitions() {
+        let mut p = PartitionedCache::new(4, 1024, 4);
+        // Warm every partition with dirty lines.
+        for e in 0..4 {
+            for i in 0..16u64 {
+                p.access(e, i * 64, true);
+            }
+        }
+        let before: Vec<CacheStats> = (0..4).map(|e| *p.partition(e).stats()).collect();
+        // Enclave 3 dies: survivors 0..3 grow from 1 KiB toward 1365 B
+        // budget each -> largest valid slice is still 1 KiB... use a
+        // bigger redistribution to force real growth: 2 KiB each.
+        for e in 0..3 {
+            let spilled = p.resize_partition(e, 2048);
+            assert!(spilled.is_empty(), "growth spilled from partition {e}");
+        }
+        let dead_spill = p.resize_partition(3, 256);
+        assert!(!dead_spill.is_empty(), "dead partition shrink must spill");
+        for (e, b) in before.iter().enumerate().take(3) {
+            let s = p.partition(e).stats();
+            assert_eq!(s.evicted_blocks, b.evicted_blocks, "partition {e} evicted");
+            assert_eq!(s.writebacks, b.writebacks, "partition {e} wrote back");
+            for i in 0..16u64 {
+                assert!(p.partition(e).probe(i * 64), "partition {e} lost line {i}");
+            }
+        }
+        // And the redistribution is deterministic: replaying the same
+        // history yields byte-identical capacities and spill sets.
+        let replay = || {
+            let mut q = PartitionedCache::new(4, 1024, 4);
+            for e in 0..4 {
+                for i in 0..16u64 {
+                    q.access(e, i * 64, true);
+                }
+            }
+            let mut spills = Vec::new();
+            for e in 0..3 {
+                spills.extend(q.resize_partition(e, 2048));
+            }
+            spills.extend(q.resize_partition(3, 256));
+            (q.capacities(), spills)
+        };
+        assert_eq!(replay(), replay());
+    }
+
+    #[test]
+    fn invalidate_drops_line_without_writeback() {
+        let mut c = MetaCache::new(4096, 4);
+        c.access(0x100, true);
+        let wb_before = c.stats().writebacks;
+        assert!(c.invalidate(0x100));
+        assert!(!c.probe(0x100));
+        assert!(!c.invalidate(0x100), "second invalidate finds nothing");
+        assert_eq!(
+            c.stats().writebacks,
+            wb_before,
+            "no writeback on invalidate"
+        );
+    }
+
+    #[test]
+    fn discard_drops_dirty_state_without_writebacks() {
+        let mut c = MetaCache::new(4096, 4);
+        c.access(0, true);
+        c.access(64, false);
+        c.access(128, true);
+        assert_eq!(c.discard(), 2);
+        assert_eq!(c.stats().writebacks, 0);
+        assert!(!c.probe(0) && !c.probe(64) && !c.probe(128));
     }
 
     #[test]

@@ -22,11 +22,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{CacheStats, PartitionedCache};
+use crate::cache::{largest_valid_capacity, CacheStats, PartitionedCache};
 use crate::counters::OverflowTracker;
 use crate::error::EngineConfigError;
 use crate::scheme::{ParityMode, Scheme, SchemeSpec, TreeKind};
-use crate::tree::TreeGeometry;
+use crate::tree::{NodeId, TreeGeometry};
+
+use std::collections::BTreeSet;
 
 /// Which metadata structure a transaction belongs to (Figure 9's
 /// breakdown categories).
@@ -299,6 +301,14 @@ pub struct SecurityEngine {
     cfg: EngineConfig,
     spec: SchemeSpec,
     geo: Option<TreeGeometry>,
+    /// Lifecycle override of `geo` per partition: a footprint-sized
+    /// private tree installed by an enclave manager (`None` = the
+    /// static construction-time tree). Only ever `Some` for isolated
+    /// schemes.
+    part_geos: Vec<Option<TreeGeometry>>,
+    /// Construction-time per-partition, per-structure cache slice,
+    /// bytes — the budget unit `repartition_caches` redistributes.
+    slice_bytes: usize,
     tree_cache: Option<PartitionedCache>,
     mac_cache: Option<PartitionedCache>,
     parity_cache: Option<PartitionedCache>,
@@ -376,6 +386,8 @@ impl SecurityEngine {
             cfg,
             spec,
             geo,
+            part_geos: (0..parts).map(|_| None).collect(),
+            slice_bytes: slice,
             tree_cache,
             mac_cache,
             parity_cache,
@@ -404,6 +416,16 @@ impl SecurityEngine {
     /// The integrity-tree geometry in use, if the scheme has a tree.
     pub fn geometry(&self) -> Option<&TreeGeometry> {
         self.geo.as_ref()
+    }
+
+    /// The geometry partition `part` is actually running: the
+    /// lifecycle-installed private tree if one is present (see
+    /// [`Self::install_tree`]), else the construction-time geometry.
+    pub fn active_geometry(&self, part: usize) -> Option<&TreeGeometry> {
+        self.part_geos
+            .get(part)
+            .and_then(Option::as_ref)
+            .or(self.geo.as_ref())
     }
 
     /// Number of metadata partitions (one per enclave when isolated,
@@ -511,7 +533,8 @@ impl SecurityEngine {
         // 4. Local-counter overflow stalls (Figure 11 runs).
         let mut stall = 0;
         if is_write {
-            if let (Some(of), Some(geo)) = (self.overflow.as_mut(), self.geo.as_ref()) {
+            let active = self.part_geos[part].as_ref().or(self.geo.as_ref());
+            if let (Some(of), Some(geo)) = (self.overflow.as_mut(), active) {
                 let node_key = ((part as u64) << 48) | geo.leaf_of(block).index;
                 let block_key = ((part as u64) << 48) | block;
                 let penalty = of.on_write(node_key, block_key);
@@ -551,7 +574,10 @@ impl SecurityEngine {
         dirty_leaf: bool,
         mem: &mut Vec<MetaAccess>,
     ) -> u32 {
-        let geo = self.geo.as_ref().expect("walk_tree requires a tree");
+        let geo = self.part_geos[part]
+            .as_ref()
+            .or(self.geo.as_ref())
+            .expect("walk_tree requires a tree");
         let cache = self.tree_cache.as_mut().expect("tree implies tree cache");
         let base = self.regions.tree_bases[part];
 
@@ -594,7 +620,10 @@ impl SecurityEngine {
         mut pending: Vec<u64>,
         mem: &mut Vec<MetaAccess>,
     ) {
-        let geo = self.geo.as_ref().expect("writebacks imply a tree");
+        let geo = self.part_geos[part]
+            .as_ref()
+            .or(self.geo.as_ref())
+            .expect("writebacks imply a tree");
         let cache = self.tree_cache.as_mut().expect("tree cache");
         let tree_base = self.regions.tree_bases[part];
         let parity_base = self.regions.parity_bases[part];
@@ -832,6 +861,371 @@ impl SecurityEngine {
                 }
             }
         }
+    }
+
+    /// Fold a batch of lifecycle-generated transactions into the
+    /// engine's traffic statistics (the same accounting `on_access`
+    /// applies to its own transaction list).
+    fn account(&mut self, mem: &[MetaAccess]) {
+        for m in mem {
+            if m.is_write {
+                self.stats.meta_writes[m.kind.index()] += 1;
+            } else {
+                self.stats.meta_reads[m.kind.index()] += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Enclave lifecycle (ISSUE 5): private trees are no longer sized
+    // once at construction. An enclave manager installs a
+    // footprint-sized tree at create, re-roots it when first-touch
+    // allocation outgrows it, resets recycled leaves, and zeroizes the
+    // whole partition at destroy. Every operation returns the metadata
+    // transactions it costs, in issue order, already folded into
+    // `stats` — the simulator turns them into real DRAM traffic.
+    // ------------------------------------------------------------------
+
+    /// Install a private tree for partition `part`, sized to cover
+    /// `data_blocks` of enclave data (clamped to the partition's
+    /// reserved span). Returns the tree-node initialization writes —
+    /// secure creation materializes every counter node with fresh
+    /// (zero) counters and root-chained MACs, so there is one write
+    /// per stored node. MAC lines are *not* pre-written: like data,
+    /// they are produced lazily on first write (first-touch).
+    ///
+    /// No-op for non-isolated schemes (their shared tree covers all of
+    /// memory and is never resized) and for schemes without a tree.
+    pub fn install_tree(&mut self, part: usize, data_blocks: u64) -> Vec<MetaAccess> {
+        if !self.spec.isolated || self.geo.is_none() {
+            return Vec::new();
+        }
+        let cap = self.cfg.enclave_capacity / 64;
+        let blocks = data_blocks.clamp(1, cap);
+        let geo = self
+            .spec
+            .tree
+            .geometry(blocks)
+            .expect("isolated schemes have a tree");
+        // Any resident lines belong to a previous tenant's layout; the
+        // destroy path already discarded them, but be safe against a
+        // re-install without an intervening reset.
+        if let Some(c) = self.tree_cache.as_mut() {
+            c.partition_mut(part).discard();
+        }
+        let base = self.regions.tree_bases[part];
+        let mem: Vec<MetaAccess> = (0..geo.total_nodes())
+            .map(|i| MetaAccess {
+                addr: base + i * 64,
+                is_write: true,
+                kind: MetaKind::Tree,
+            })
+            .collect();
+        self.part_geos[part] = Some(geo);
+        self.account(&mem);
+        mem
+    }
+
+    /// Grow partition `part`'s installed tree to cover at least
+    /// `data_blocks`, re-rooting into a larger geometry. Cached dirty
+    /// nodes are written back first (the old tree's state must be
+    /// persistent before relayout), every old node is read back
+    /// (migration: its counters are re-hashed into the new layout),
+    /// and every node of the new layout is written — level offsets
+    /// shift, so even surviving counters land at new addresses.
+    /// Returns the combined traffic; empty when the installed tree
+    /// already covers `data_blocks`.
+    ///
+    /// Installs the tree outright if none is present yet.
+    pub fn grow_tree(&mut self, part: usize, data_blocks: u64) -> Vec<MetaAccess> {
+        if !self.spec.isolated || self.geo.is_none() {
+            return Vec::new();
+        }
+        let Some(old) = self.part_geos[part].as_ref() else {
+            return self.install_tree(part, data_blocks);
+        };
+        let cap = self.cfg.enclave_capacity / 64;
+        let blocks = data_blocks.clamp(1, cap);
+        if blocks <= old.data_blocks() {
+            return Vec::new();
+        }
+        let old_nodes = old.total_nodes();
+        let new = self
+            .spec
+            .tree
+            .geometry(blocks)
+            .expect("isolated schemes have a tree");
+        let base = self.regions.tree_bases[part];
+        let parity_base = self.regions.parity_bases[part];
+        let mut mem = Vec::new();
+        if let Some(c) = self.tree_cache.as_mut() {
+            for addr in c.partition_mut(part).flush() {
+                // The unified cache can hold fallback-parity lines;
+                // label them as in the eviction path.
+                let kind = if addr >= parity_base {
+                    MetaKind::Parity
+                } else {
+                    MetaKind::Tree
+                };
+                mem.push(MetaAccess {
+                    addr,
+                    is_write: true,
+                    kind,
+                });
+            }
+        }
+        for i in 0..old_nodes {
+            mem.push(MetaAccess {
+                addr: base + i * 64,
+                is_write: false,
+                kind: MetaKind::Tree,
+            });
+        }
+        for i in 0..new.total_nodes() {
+            mem.push(MetaAccess {
+                addr: base + i * 64,
+                is_write: true,
+                kind: MetaKind::Tree,
+            });
+        }
+        self.part_geos[part] = Some(new);
+        self.account(&mem);
+        mem
+    }
+
+    /// Secure teardown of partition `part`: zeroize every stored node
+    /// of the installed tree and, when the scheme keeps a separate MAC
+    /// structure, the MAC lines covering its span. Cached lines are
+    /// discarded *without* writeback — their contents are dead; the
+    /// zeroize writes are the only traffic. Uninstalls the private
+    /// geometry. Returns empty if no tree was installed (nothing to
+    /// tear down) or the scheme is not isolated.
+    pub fn reset_partition(&mut self, part: usize) -> Vec<MetaAccess> {
+        if !self.spec.isolated {
+            return Vec::new();
+        }
+        let Some(geo) = self.part_geos[part].take() else {
+            return Vec::new();
+        };
+        for c in [
+            &mut self.tree_cache,
+            &mut self.mac_cache,
+            &mut self.parity_cache,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            c.partition_mut(part).discard();
+        }
+        let mut mem = Vec::new();
+        let base = self.regions.tree_bases[part];
+        for i in 0..geo.total_nodes() {
+            mem.push(MetaAccess {
+                addr: base + i * 64,
+                is_write: true,
+                kind: MetaKind::Tree,
+            });
+        }
+        if !self.spec.mac_inline {
+            let mac_base = self.regions.mac_bases[part];
+            for line in 0..geo.data_blocks().div_ceil(8) {
+                mem.push(MetaAccess {
+                    addr: mac_base + line * 64,
+                    is_write: true,
+                    kind: MetaKind::Mac,
+                });
+            }
+        }
+        self.account(&mem);
+        mem
+    }
+
+    /// Counter-reset traffic for returning the blocks
+    /// `[first_block, first_block + count)` (partition-domain indices:
+    /// enclave blocks under isolation, `paddr / 64` otherwise) to a
+    /// free list. The covering tree leaves are rewritten with fresh
+    /// counters — so a recycled leaf-id can never replay the dead
+    /// owner's state — and their cached copies are dropped
+    /// (superseded, not written back). When `rebuild_parity` is set,
+    /// correction-parity groups that outlive the page pay their
+    /// rebuild: per-block parity lines are rewritten, shared groups
+    /// pay a read-modify-write each; clearing it models
+    /// break-the-group instead (no traffic; the RAS layer would mark
+    /// the group degraded). Embedded parity rides in the leaf rewrite
+    /// for free, exactly as in the write path.
+    pub fn reset_leaves(
+        &mut self,
+        part: usize,
+        first_block: u64,
+        count: u64,
+        rebuild_parity: bool,
+    ) -> Vec<MetaAccess> {
+        let Some(geo) = self.part_geos[part].as_ref().or(self.geo.as_ref()) else {
+            // No tree (Unsecure): nothing to reset, and such schemes
+            // keep no parity either.
+            return Vec::new();
+        };
+        if count == 0 || first_block >= geo.data_blocks() {
+            return Vec::new();
+        }
+        let last = (first_block + count - 1).min(geo.data_blocks() - 1);
+        let tree_base = self.regions.tree_bases[part];
+        let leaf_addrs: Vec<u64> = (first_block / geo.leaf_arity()..=last / geo.leaf_arity())
+            .map(|index| geo.node_addr(tree_base, NodeId { level: 0, index }))
+            .collect();
+        let mac_lines: Vec<u64> = if self.spec.mac_inline || self.mac_cache.is_none() {
+            Vec::new()
+        } else {
+            let mac_base = self.regions.mac_bases[part];
+            (first_block / 8..=last / 8)
+                .map(|line| mac_base + line * 64)
+                .collect()
+        };
+        let parity_base = self.regions.parity_bases[part];
+        // (line address, pays RMW read) per touched parity line.
+        let mut parity_lines: Vec<(u64, bool)> = Vec::new();
+        if rebuild_parity {
+            match self.spec.parity {
+                ParityMode::None => {}
+                ParityMode::PerBlock => {
+                    for line in first_block / 8..=last / 8 {
+                        parity_lines.push((parity_base + line * 64, false));
+                    }
+                }
+                ParityMode::Shared(share) => {
+                    let lines: BTreeSet<u64> = (first_block..=last)
+                        .map(|b| parity_base + (self.parity_group(b, share) / 8) * 64)
+                        .collect();
+                    parity_lines.extend(lines.into_iter().map(|l| (l, true)));
+                }
+                ParityMode::Embedded => {
+                    if !self.embedding_viable() {
+                        let lines: BTreeSet<u64> = (first_block..=last)
+                            .map(|b| self.fallback_parity_line(part, b))
+                            .collect();
+                        parity_lines.extend(lines.into_iter().map(|l| (l, true)));
+                    }
+                    // Viable embedding: the leaf rewrite carries the
+                    // fresh parity; no extra lines.
+                }
+            }
+        }
+
+        let mut mem = Vec::new();
+        if let Some(c) = self.tree_cache.as_mut() {
+            let p = c.partition_mut(part);
+            for &addr in &leaf_addrs {
+                p.invalidate(addr);
+            }
+        }
+        for &addr in &leaf_addrs {
+            mem.push(MetaAccess {
+                addr,
+                is_write: true,
+                kind: MetaKind::Tree,
+            });
+        }
+        if let Some(c) = self.mac_cache.as_mut() {
+            let p = c.partition_mut(part);
+            for &addr in &mac_lines {
+                p.invalidate(addr);
+            }
+        }
+        for &addr in &mac_lines {
+            mem.push(MetaAccess {
+                addr,
+                is_write: true,
+                kind: MetaKind::Mac,
+            });
+        }
+        for &(addr, rmw) in &parity_lines {
+            // Fallback-embedded lines live in the unified tree cache;
+            // a dedicated parity cache holds the others. Either way the
+            // stale cached state is superseded by the rebuild.
+            if let Some(c) = self.parity_cache.as_mut() {
+                c.partition_mut(part).invalidate(addr);
+            } else if let Some(c) = self.tree_cache.as_mut() {
+                c.partition_mut(part).invalidate(addr);
+            }
+            if rmw {
+                mem.push(MetaAccess {
+                    addr,
+                    is_write: false,
+                    kind: MetaKind::Parity,
+                });
+            }
+            mem.push(MetaAccess {
+                addr,
+                is_write: true,
+                kind: MetaKind::Parity,
+            });
+        }
+        self.account(&mem);
+        mem
+    }
+
+    /// Deterministically repartition every metadata cache across the
+    /// live partitions: each live partition's slice becomes the
+    /// largest valid capacity not exceeding an equal share of the
+    /// structure's total budget (dead partitions idle at the one-set
+    /// minimum, which is re-absorbed on their next create). Growth
+    /// only re-homes resident lines — it can never evict another
+    /// partition's state — while shrinking a live partition (a new
+    /// tenant carving its share out of incumbents) spills its LRU
+    /// tail, returned here as writeback traffic. No-op for
+    /// non-isolated schemes (a single shared partition).
+    pub fn repartition_caches(&mut self, live: &[bool]) -> Vec<MetaAccess> {
+        if !self.spec.isolated {
+            return Vec::new();
+        }
+        let parts = self.partitions();
+        assert_eq!(live.len(), parts, "live mask must cover every partition");
+        let ways = self.cfg.cache_ways;
+        let min_slice = ways * 64;
+        let live_count = live.iter().filter(|&&l| l).count();
+        let total = self.slice_bytes * parts;
+        let share = if live_count == 0 {
+            min_slice
+        } else {
+            let reserved = (parts - live_count) * min_slice;
+            largest_valid_capacity(total.saturating_sub(reserved) / live_count, ways)
+        };
+        let shared_parity = matches!(self.spec.parity, ParityMode::Shared(_));
+        let parity_bases = self.regions.parity_bases.clone();
+        let mut mem = Vec::new();
+        for (cache, kind) in [
+            (&mut self.tree_cache, MetaKind::Tree),
+            (&mut self.mac_cache, MetaKind::Mac),
+            (&mut self.parity_cache, MetaKind::Parity),
+        ] {
+            let Some(pc) = cache.as_mut() else { continue };
+            for p in 0..parts {
+                let target = if live[p] { share } else { min_slice };
+                for addr in pc.resize_partition(p, target) {
+                    let kind = if kind == MetaKind::Tree && addr >= parity_bases[p] {
+                        MetaKind::Parity
+                    } else {
+                        kind
+                    };
+                    if kind == MetaKind::Parity && shared_parity {
+                        // Spilled shared-parity diffs merge via RMW,
+                        // as in the eviction and drain paths.
+                        mem.push(MetaAccess {
+                            addr,
+                            is_write: false,
+                            kind,
+                        });
+                    }
+                    mem.push(MetaAccess {
+                        addr,
+                        is_write: true,
+                        kind,
+                    });
+                }
+            }
+        }
+        self.account(&mem);
+        mem
     }
 
     /// Flush every cache, emitting the writeback traffic (end-of-run
@@ -1183,5 +1577,203 @@ mod tests {
         assert_eq!(s.data_reads, 1);
         assert_eq!(s.data_writes, 1);
         assert!(s.meta_per_access() > 0.0);
+    }
+
+    // ---------------- enclave lifecycle entry points ----------------
+
+    #[test]
+    fn install_tree_writes_every_node_of_a_footprint_sized_tree() {
+        let mut e = engine(Scheme::Itesp);
+        // 16 pages = 1024 blocks; ITESP64 leaves cover 64 blocks.
+        let mem = e.install_tree(1, 1024);
+        let geo = e.active_geometry(1).unwrap().clone();
+        assert_eq!(geo.data_blocks(), 1024);
+        assert_eq!(mem.len() as u64, geo.total_nodes());
+        assert!(mem.iter().all(|m| m.is_write && m.kind == MetaKind::Tree));
+        // All init writes land inside this partition's tree region.
+        assert!(mem
+            .iter()
+            .all(|m| m.addr >= e.tree_base(1) && m.addr < e.tree_base(1) + geo.storage_bytes()));
+        // Other partitions keep the construction-time geometry.
+        assert_eq!(
+            e.active_geometry(0).unwrap().data_blocks(),
+            e.geometry().unwrap().data_blocks()
+        );
+        // The installed tree serves accesses: a walk stays in bounds
+        // and the warm path is free.
+        assert!(!e.on_access(1, 0, 0, false).mem.is_empty());
+        assert!(e.on_access(1, 0, 0, false).mem.is_empty());
+    }
+
+    #[test]
+    fn install_tree_is_a_no_op_for_shared_and_treeless_schemes() {
+        let mut shared = engine(Scheme::Vault);
+        assert!(shared.install_tree(0, 1024).is_empty());
+        let mut unsecure = engine(Scheme::Unsecure);
+        assert!(unsecure.install_tree(0, 1024).is_empty());
+    }
+
+    #[test]
+    fn grow_tree_pays_migration_reads_and_relayout_writes() {
+        let mut e = engine(Scheme::Itesp);
+        e.install_tree(0, 1024);
+        let old_nodes = e.active_geometry(0).unwrap().total_nodes();
+        // Dirty the installed tree so growth must persist state first.
+        e.on_access(0, 0, 0, true);
+        let mem = e.grow_tree(0, 4096);
+        let new_nodes = e.active_geometry(0).unwrap().total_nodes();
+        assert!(new_nodes > old_nodes);
+        let reads = mem.iter().filter(|m| !m.is_write).count() as u64;
+        let writes = mem.iter().filter(|m| m.is_write).count() as u64;
+        assert_eq!(reads, old_nodes, "every old node is migrated");
+        assert!(writes >= new_nodes, "every new node is laid out");
+        // Growing to a covered span is free; shrinking never happens.
+        assert!(e.grow_tree(0, 4096).is_empty());
+        assert!(e.grow_tree(0, 64).is_empty());
+    }
+
+    #[test]
+    fn grow_tree_without_install_installs() {
+        let mut e = engine(Scheme::ItSynergy);
+        let mem = e.grow_tree(2, 512);
+        assert!(!mem.is_empty());
+        assert_eq!(e.active_geometry(2).unwrap().data_blocks(), 512);
+    }
+
+    #[test]
+    fn reset_partition_zeroizes_and_uninstalls() {
+        let mut e = engine(Scheme::ItVault); // separate MAC structure
+        e.install_tree(1, 1024);
+        let nodes = e.active_geometry(1).unwrap().total_nodes();
+        e.on_access(1, 0, 0, true); // dirty some cached state
+        let wb_before = e.tree_cache_stats().writebacks;
+        let mem = e.reset_partition(1);
+        assert!(mem.iter().all(|m| m.is_write), "teardown only writes");
+        let trees = mem.iter().filter(|m| m.kind == MetaKind::Tree).count() as u64;
+        let macs = mem.iter().filter(|m| m.kind == MetaKind::Mac).count() as u64;
+        assert_eq!(trees, nodes, "every stored node is zeroized");
+        assert_eq!(macs, 1024_u64.div_ceil(8), "MAC span is zeroized");
+        assert_eq!(
+            e.tree_cache_stats().writebacks,
+            wb_before,
+            "dead cached state is discarded, never written back"
+        );
+        // Geometry falls back to the construction-time tree.
+        assert_eq!(
+            e.active_geometry(1).unwrap().data_blocks(),
+            e.geometry().unwrap().data_blocks()
+        );
+        // Double-destroy is a no-op.
+        assert!(e.reset_partition(1).is_empty());
+    }
+
+    #[test]
+    fn reset_leaves_rewrites_covering_leaves_and_drops_cached_copies() {
+        let mut e = engine(Scheme::Itesp);
+        e.install_tree(0, 1024);
+        e.on_access(0, 0, 0, true); // leaf 0 cached dirty
+        let mem = e.reset_leaves(0, 0, 64, true);
+        // VaultItesp leaves cover 32 blocks: a 64-block page spans two
+        // leaves; embedded parity rides in the leaf rewrites.
+        assert_eq!(mem.len(), 2);
+        assert!(mem.iter().all(|m| m.is_write && m.kind == MetaKind::Tree));
+        // The stale cached leaf was superseded: the next access must
+        // re-fetch it from memory, not hit dead on-chip state.
+        let out = e.on_access(0, 0, 0, false);
+        assert!(
+            out.mem
+                .iter()
+                .any(|m| m.kind == MetaKind::Tree && !m.is_write),
+            "stale leaf line must not survive a reset: {out:?}"
+        );
+    }
+
+    #[test]
+    fn reset_leaves_parity_rebuild_follows_the_scheme() {
+        // Per-block parity: one parity line per 8 blocks, plain writes.
+        let mut syn = engine(Scheme::Synergy);
+        let mem = syn.reset_leaves(0, 0, 64, true);
+        let parity_writes = mem
+            .iter()
+            .filter(|m| m.kind == MetaKind::Parity && m.is_write)
+            .count();
+        assert_eq!(parity_writes, 8);
+        assert!(
+            mem.iter()
+                .filter(|m| m.kind == MetaKind::Parity)
+                .all(|m| m.is_write),
+            "per-block parity rebuild has no RMW reads"
+        );
+
+        // Shared parity: each surviving group pays a read-modify-write.
+        let mut shared = engine(Scheme::ItSynergySharedParity);
+        shared.install_tree(0, 1024);
+        let mem = shared.reset_leaves(0, 0, 64, true);
+        let reads = mem
+            .iter()
+            .filter(|m| m.kind == MetaKind::Parity && !m.is_write)
+            .count();
+        let writes = mem
+            .iter()
+            .filter(|m| m.kind == MetaKind::Parity && m.is_write)
+            .count();
+        assert!(reads > 0, "shared-parity rebuild is a RMW");
+        assert_eq!(reads, writes);
+
+        // Break-the-group instead: no parity traffic at all.
+        let mem = shared.reset_leaves(0, 64, 64, false);
+        assert!(mem.iter().all(|m| m.kind != MetaKind::Parity));
+    }
+
+    #[test]
+    fn repartition_is_deterministic_and_leaves_survivors_alone() {
+        let run = || {
+            let mut e = engine(Scheme::Itesp);
+            for part in 0..4 {
+                e.install_tree(part, 1024);
+                for b in 0..32u64 {
+                    e.on_access(part, b * 64, b, true);
+                }
+            }
+            // Enclave 3 dies.
+            let zero = e.reset_partition(3);
+            let repart = e.repartition_caches(&[true, true, true, false]);
+            (zero.len(), repart.len())
+        };
+        assert_eq!(run(), run(), "teardown must be a pure function of history");
+
+        let mut e = engine(Scheme::Itesp);
+        for part in 0..4 {
+            e.install_tree(part, 1024);
+            for b in 0..32u64 {
+                e.on_access(part, b * 64, b, true);
+            }
+        }
+        e.reset_partition(3);
+        e.repartition_caches(&[true, true, true, false]);
+        // Survivors' warm paths still hit: repartition growth never
+        // evicted their lines.
+        for part in 0..3 {
+            let out = e.on_access(part, 0, 0, false);
+            assert!(
+                out.mem.is_empty(),
+                "partition {part} lost warm state across repartition: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repartition_no_ops_for_shared_schemes() {
+        let mut e = engine(Scheme::Vault);
+        assert!(e.repartition_caches(&[true]).is_empty());
+    }
+
+    #[test]
+    fn lifecycle_traffic_lands_in_engine_stats() {
+        let mut e = engine(Scheme::Itesp);
+        let installed = e.install_tree(0, 1024).len() as u64;
+        assert_eq!(e.stats().meta_writes[MetaKind::Tree.index()], installed);
+        e.grow_tree(0, 2048);
+        assert!(e.stats().meta_reads[MetaKind::Tree.index()] > 0);
     }
 }

@@ -1,0 +1,485 @@
+//! The enclave lifecycle state machine.
+//!
+//! [`EnclaveManager`] owns one slot per hardware context. Each slot
+//! holds at most one live [`Enclave`]; create/destroy cycles reuse
+//! slots but never ids. Every lifecycle transition returns the
+//! [`MetaAccess`] list the security engine charged for it, so callers
+//! (the simulator's churn driver, tests) can route lifecycle cost
+//! through the same DRAM model as ordinary metadata traffic.
+
+use std::collections::BTreeMap;
+
+use itesp_core::{MacKey, MetaAccess, SecurityEngine};
+
+use crate::alloc::{LeafAllocator, LeafGrant};
+
+/// Blocks per page (4 KB pages, 64 B blocks). Kept local so this crate
+/// depends only on itesp-core.
+pub const PAGE_BLOCKS: u64 = 64;
+
+/// Globally unique enclave identity; monotone across a manager's
+/// lifetime, never reused even when slots are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnclaveId(pub u64);
+
+/// Where one of an enclave's virtual pages lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageInfo {
+    /// Dense leaf-id inside the enclave's private tree.
+    pub leaf: u64,
+    /// Physical frame backing the page.
+    pub ppage: u64,
+}
+
+/// One live enclave: identity, key, page table, per-leaf write
+/// counters, and the leaf-id namespace.
+#[derive(Debug, Clone)]
+pub struct Enclave {
+    id: EnclaveId,
+    key: MacKey,
+    footprint_pages: u64,
+    /// Pages the current private tree covers (grows by doubling).
+    tree_pages: u64,
+    pages: BTreeMap<u64, PageInfo>,
+    /// Per-leaf write counters — the model of the tree's counter
+    /// state that the oracle checks freshness against.
+    counters: BTreeMap<u64, u64>,
+    allocator: LeafAllocator,
+}
+
+impl Enclave {
+    pub fn id(&self) -> EnclaveId {
+        self.id
+    }
+
+    pub fn key(&self) -> MacKey {
+        self.key
+    }
+
+    pub fn footprint_pages(&self) -> u64 {
+        self.footprint_pages
+    }
+
+    /// Pages the currently-installed tree can address.
+    pub fn tree_pages(&self) -> u64 {
+        self.tree_pages
+    }
+
+    pub fn live_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    pub fn leaf_of(&self, vpage: u64) -> Option<u64> {
+        self.pages.get(&vpage).map(|p| p.leaf)
+    }
+
+    pub fn page(&self, vpage: u64) -> Option<&PageInfo> {
+        self.pages.get(&vpage)
+    }
+
+    pub fn allocator(&self) -> &LeafAllocator {
+        &self.allocator
+    }
+}
+
+/// Lifecycle event counts, accumulated across the manager's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    pub created: u64,
+    pub destroyed: u64,
+    /// Tree re-roots (first-touch allocation outgrew leaf capacity).
+    pub grows: u64,
+    pub pages_freed: u64,
+    /// Grants that reused a previously-freed leaf-id.
+    pub leaves_recycled: u64,
+    /// High-water mark of live pages across all slots.
+    pub peak_live_pages: u64,
+}
+
+/// The lifecycle manager: one slot per hardware context, each serving
+/// a sequence of enclaves.
+#[derive(Debug)]
+pub struct EnclaveManager {
+    slots: Vec<Option<Enclave>>,
+    /// Master key material the per-enclave MAC keys derive from.
+    master: u64,
+    next_id: u64,
+    /// Rebuild parity groups covering freed leaves (`true`, the
+    /// reliable choice) or break them (`false`: the group is marked
+    /// unprotected until next written — cheaper, no RMW traffic).
+    pub rebuild_parity: bool,
+    stats: LifecycleStats,
+}
+
+impl EnclaveManager {
+    pub fn new(slots: usize, master: u64) -> Self {
+        assert!(slots > 0, "need at least one slot");
+        EnclaveManager {
+            slots: (0..slots).map(|_| None).collect(),
+            master,
+            next_id: 0,
+            rebuild_parity: true,
+            stats: LifecycleStats::default(),
+        }
+    }
+
+    /// The engine cache/tree partition a slot maps to: its own under
+    /// isolation, the single shared partition otherwise.
+    fn part(engine: &SecurityEngine, slot: usize) -> usize {
+        if engine.spec().isolated {
+            slot
+        } else {
+            0
+        }
+    }
+
+    /// Partition liveness mask sized for the engine (for isolated
+    /// schemes, slot i ↔ partition i; shared schemes have one
+    /// partition that is live while any slot is).
+    fn mask(&self, engine: &SecurityEngine) -> Vec<bool> {
+        let parts = engine.partitions();
+        if parts == 1 {
+            vec![self.slots.iter().any(Option::is_some)]
+        } else {
+            (0..parts)
+                .map(|p| self.slots.get(p).is_some_and(Option::is_some))
+                .collect()
+        }
+    }
+
+    /// Admit an enclave into `slot`: install a footprint-sized private
+    /// tree (a quarter of the requested footprint, at least one page —
+    /// first-touch growth pays for the rest) and repartition the
+    /// metadata caches so the newcomer gets its share.
+    ///
+    /// # Panics
+    /// Panics if the slot is occupied — callers must destroy first.
+    pub fn create(
+        &mut self,
+        engine: &mut SecurityEngine,
+        slot: usize,
+        footprint_pages: u64,
+    ) -> (EnclaveId, Vec<MetaAccess>) {
+        assert!(
+            self.slots[slot].is_none(),
+            "slot {slot} already holds a live enclave"
+        );
+        assert!(footprint_pages > 0, "an enclave needs at least one page");
+        let id = EnclaveId(self.next_id);
+        self.next_id += 1;
+        let tree_pages = (footprint_pages / 4).max(1);
+        let part = Self::part(engine, slot);
+        let mut traffic = engine.install_tree(part, tree_pages * PAGE_BLOCKS);
+        self.slots[slot] = Some(Enclave {
+            id,
+            key: MacKey::derive(self.master, id.0),
+            footprint_pages,
+            tree_pages,
+            pages: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            allocator: LeafAllocator::new(tree_pages),
+        });
+        let mask = self.mask(engine);
+        traffic.extend(engine.repartition_caches(&mask));
+        self.stats.created += 1;
+        (id, traffic)
+    }
+
+    /// First-touch a virtual page: grant it a leaf-id (growing the
+    /// tree if the namespace is exhausted, resetting counters if the
+    /// leaf is recycled) and record its physical frame. Touching an
+    /// already-mapped page is free and returns its existing leaf.
+    pub fn touch_page(
+        &mut self,
+        engine: &mut SecurityEngine,
+        slot: usize,
+        vpage: u64,
+        ppage: u64,
+    ) -> (u64, Vec<MetaAccess>) {
+        let part = Self::part(engine, slot);
+        let enc = self.slots[slot].as_mut().expect("touch on an empty slot");
+        if let Some(info) = enc.pages.get(&vpage) {
+            return (info.leaf, Vec::new());
+        }
+        let mut traffic = Vec::new();
+        let grant = loop {
+            match enc.allocator.alloc() {
+                Some(g) => break g,
+                None => {
+                    // Out of leaves: double the tree. The engine pays
+                    // migration reads over the old nodes and init
+                    // writes over the new layout.
+                    let new_pages = enc.tree_pages * 2;
+                    traffic.extend(engine.grow_tree(part, new_pages * PAGE_BLOCKS));
+                    enc.tree_pages = new_pages;
+                    enc.allocator.grow(new_pages);
+                    self.stats.grows += 1;
+                }
+            }
+        };
+        let leaf = grant.leaf();
+        if matches!(grant, LeafGrant::Recycled(_)) {
+            self.stats.leaves_recycled += 1;
+        }
+        // Fresh leaves were zeroed by install/grow; recycled leaves
+        // were reset at free time. Either way the model counter starts
+        // from zero.
+        enc.counters.insert(leaf, 0);
+        enc.pages.insert(vpage, PageInfo { leaf, ppage });
+        let live: u64 = self.slots.iter().flatten().map(Enclave::live_pages).sum();
+        self.stats.peak_live_pages = self.stats.peak_live_pages.max(live);
+        (leaf, traffic)
+    }
+
+    /// Return a page early: its leaf's counters are reset in memory
+    /// and its parity groups rebuilt (or broken, per
+    /// [`Self::rebuild_parity`]) *before* the leaf enters the free
+    /// list, so whoever receives it next cannot replay this page's
+    /// history. Returns the freed physical frame.
+    pub fn free_page(
+        &mut self,
+        engine: &mut SecurityEngine,
+        slot: usize,
+        vpage: u64,
+    ) -> Option<(u64, Vec<MetaAccess>)> {
+        let part = Self::part(engine, slot);
+        let rebuild = self.rebuild_parity;
+        let enc = self.slots[slot].as_mut()?;
+        let info = enc.pages.remove(&vpage)?;
+        // Isolated trees index by the dense leaf-id; shared trees by
+        // the physical block (matching `SecurityEngine::on_access`).
+        let first_block = if engine.spec().isolated {
+            info.leaf * PAGE_BLOCKS
+        } else {
+            info.ppage * PAGE_BLOCKS
+        };
+        let traffic = engine.reset_leaves(part, first_block, PAGE_BLOCKS, rebuild);
+        enc.counters.insert(info.leaf, 0);
+        enc.allocator.free(info.leaf);
+        self.stats.pages_freed += 1;
+        Some((info.ppage, traffic))
+    }
+
+    /// Secure teardown: zeroize the enclave's tree and MAC regions,
+    /// drop its cached metadata without writeback, and repartition the
+    /// survivors' cache shares deterministically.
+    pub fn destroy(&mut self, engine: &mut SecurityEngine, slot: usize) -> Vec<MetaAccess> {
+        let part = Self::part(engine, slot);
+        let Some(_) = self.slots[slot].take() else {
+            return Vec::new();
+        };
+        let mut traffic = engine.reset_partition(part);
+        let mask = self.mask(engine);
+        traffic.extend(engine.repartition_caches(&mask));
+        self.stats.destroyed += 1;
+        traffic
+    }
+
+    /// Bump the write counter of the leaf backing `vpage`; returns the
+    /// new counter value.
+    pub fn record_write(&mut self, slot: usize, vpage: u64) -> Option<u64> {
+        let enc = self.slots[slot].as_mut()?;
+        let leaf = enc.pages.get(&vpage)?.leaf;
+        let c = enc.counters.entry(leaf).or_insert(0);
+        *c += 1;
+        Some(*c)
+    }
+
+    /// The model counter of a leaf (0 after reset/recycle).
+    pub fn counter_of(&self, slot: usize, leaf: u64) -> Option<u64> {
+        self.slots[slot].as_ref()?.counters.get(&leaf).copied()
+    }
+
+    pub fn key_of(&self, slot: usize) -> Option<MacKey> {
+        self.slots[slot].as_ref().map(Enclave::key)
+    }
+
+    pub fn enclave(&self, slot: usize) -> Option<&Enclave> {
+        self.slots[slot].as_ref()
+    }
+
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Live pages across all slots — must always equal the page
+    /// mapper's `live_pages()` for the churn programs (the driver's
+    /// cross-layer invariant).
+    pub fn total_live_pages(&self) -> u64 {
+        self.slots.iter().flatten().map(Enclave::live_pages).sum()
+    }
+
+    pub fn stats(&self) -> LifecycleStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itesp_core::{EngineConfig, MetaKind, Scheme, SecurityEngine};
+
+    fn engine(scheme: Scheme) -> SecurityEngine {
+        SecurityEngine::new(EngineConfig::paper_default(scheme))
+    }
+
+    #[test]
+    fn create_installs_a_footprint_sized_tree_and_carves_the_caches() {
+        let mut e = engine(Scheme::Itesp);
+        let mut m = EnclaveManager::new(4, 0x5A17);
+        let (id, traffic) = m.create(&mut e, 0, 64);
+        assert_eq!(id, EnclaveId(0));
+        // 64-page footprint -> 16-page initial tree, every node
+        // zero-written.
+        assert!(traffic
+            .iter()
+            .any(|a| a.kind == MetaKind::Tree && a.is_write));
+        let geo = e.active_geometry(0).unwrap();
+        assert_eq!(geo.data_blocks(), 16 * PAGE_BLOCKS);
+        assert_eq!(m.enclave(0).unwrap().tree_pages(), 16);
+        assert_eq!(m.stats().created, 1);
+    }
+
+    #[test]
+    fn ids_are_never_reused_and_keys_differ() {
+        let mut e = engine(Scheme::Itesp);
+        let mut m = EnclaveManager::new(2, 0x5A17);
+        let (a, _) = m.create(&mut e, 0, 8);
+        let ka = m.key_of(0).unwrap();
+        m.destroy(&mut e, 0);
+        let (b, _) = m.create(&mut e, 0, 8);
+        let kb = m.key_of(0).unwrap();
+        assert_ne!(a, b, "slot reuse must not reuse the id");
+        assert_ne!(ka, kb, "each enclave gets its own MAC key");
+    }
+
+    #[test]
+    fn touch_grows_the_tree_when_leaves_run_out() {
+        let mut e = engine(Scheme::Itesp);
+        let mut m = EnclaveManager::new(4, 1);
+        // Footprint 8 -> initial tree of 2 pages.
+        m.create(&mut e, 0, 8);
+        let (_, t0) = m.touch_page(&mut e, 0, 0, 100);
+        let (_, t1) = m.touch_page(&mut e, 0, 1, 101);
+        assert!(t0.is_empty() && t1.is_empty(), "inside capacity: free");
+        let (leaf2, grow_traffic) = m.touch_page(&mut e, 0, 2, 102);
+        assert_eq!(leaf2, 2);
+        assert_eq!(m.stats().grows, 1);
+        assert!(
+            grow_traffic.iter().any(|a| !a.is_write),
+            "growth pays migration reads"
+        );
+        assert!(
+            grow_traffic.iter().any(|a| a.is_write),
+            "growth pays re-init writes"
+        );
+        assert_eq!(m.enclave(0).unwrap().tree_pages(), 4);
+        assert_eq!(e.active_geometry(0).unwrap().data_blocks(), 4 * PAGE_BLOCKS);
+        // Re-touching a mapped page stays free.
+        let (leaf_again, t) = m.touch_page(&mut e, 0, 2, 102);
+        assert_eq!(leaf_again, 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn free_resets_counters_before_the_leaf_can_be_recycled() {
+        let mut e = engine(Scheme::Itesp);
+        let mut m = EnclaveManager::new(4, 2);
+        m.create(&mut e, 0, 16);
+        let (leaf, _) = m.touch_page(&mut e, 0, 7, 200);
+        m.record_write(0, 7);
+        m.record_write(0, 7);
+        assert_eq!(m.counter_of(0, leaf), Some(2));
+        let (ppage, traffic) = m.free_page(&mut e, 0, 7).unwrap();
+        assert_eq!(ppage, 200);
+        assert!(
+            traffic
+                .iter()
+                .any(|a| a.kind == MetaKind::Tree && a.is_write),
+            "free must rewrite the leaf's counters in memory"
+        );
+        assert_eq!(m.counter_of(0, leaf), Some(0), "counter reset at free");
+        assert!(!m.enclave(0).unwrap().allocator().is_live(leaf));
+        // The next touch recycles the freed leaf, fresh.
+        let (again, _) = m.touch_page(&mut e, 0, 9, 201);
+        assert_eq!(again, leaf, "LIFO free list hands the leaf back");
+        assert_eq!(m.counter_of(0, leaf), Some(0));
+        assert_eq!(m.stats().leaves_recycled, 1);
+        assert_eq!(m.stats().pages_freed, 1);
+    }
+
+    #[test]
+    fn parity_rebuild_is_optional_on_free() {
+        let mut e = engine(Scheme::Itesp);
+        let mut m = EnclaveManager::new(4, 3);
+        m.rebuild_parity = false;
+        m.create(&mut e, 0, 16);
+        m.touch_page(&mut e, 0, 0, 10);
+        let (_, traffic) = m.free_page(&mut e, 0, 0).unwrap();
+        assert!(
+            traffic.iter().all(|a| a.kind != MetaKind::Parity),
+            "break-not-rebuild frees skip parity traffic"
+        );
+    }
+
+    #[test]
+    fn destroy_zeroizes_and_repartitions_survivors() {
+        let mut e = engine(Scheme::Itesp);
+        let mut m = EnclaveManager::new(4, 4);
+        for slot in 0..4 {
+            m.create(&mut e, slot, 16);
+            m.touch_page(&mut e, slot, 0, 300 + slot as u64);
+        }
+        let traffic = m.destroy(&mut e, 2);
+        assert!(
+            traffic
+                .iter()
+                .any(|a| a.kind == MetaKind::Tree && a.is_write),
+            "teardown zeroizes the tree region"
+        );
+        assert!(m.enclave(2).is_none());
+        assert_eq!(m.live_count(), 3);
+        assert_eq!(m.total_live_pages(), 3);
+        // Destroying an empty slot is a no-op.
+        assert!(m.destroy(&mut e, 2).is_empty());
+        assert_eq!(m.stats().destroyed, 1);
+    }
+
+    #[test]
+    fn shared_schemes_track_state_without_private_tree_traffic() {
+        let mut e = engine(Scheme::Synergy);
+        let mut m = EnclaveManager::new(4, 5);
+        let (_, create_t) = m.create(&mut e, 1, 16);
+        assert!(
+            create_t.is_empty(),
+            "shared tree: no private install traffic"
+        );
+        let (leaf, _) = m.touch_page(&mut e, 1, 0, 50);
+        assert_eq!(leaf, 0);
+        // Frees still reset the shared tree's leaves covering the page.
+        let (_, free_t) = m.free_page(&mut e, 1, 0).unwrap();
+        assert!(free_t
+            .iter()
+            .any(|a| a.kind == MetaKind::Tree && a.is_write));
+    }
+
+    #[test]
+    fn peak_live_pages_tracks_the_high_water_mark() {
+        let mut e = engine(Scheme::Itesp);
+        let mut m = EnclaveManager::new(2, 6);
+        m.create(&mut e, 0, 16);
+        m.create(&mut e, 1, 16);
+        for v in 0..3 {
+            m.touch_page(&mut e, 0, v, v);
+            m.touch_page(&mut e, 1, v, 10 + v);
+        }
+        m.free_page(&mut e, 0, 0);
+        m.free_page(&mut e, 0, 1);
+        assert_eq!(m.total_live_pages(), 4);
+        assert_eq!(m.stats().peak_live_pages, 6);
+    }
+}

@@ -1,0 +1,393 @@
+//! Driving multi-tenant enclave churn through the full system.
+//!
+//! [`ChurnDriver`] sits between the cores and the security engine: it
+//! admits sessions from a [`ChurnWorkload`] schedule into slots as
+//! their Poisson arrival times pass, translates their virtual accesses
+//! lazily (pages can be freed and re-touched, so translations cannot
+//! be precomputed), fires mid-session page frees, and tears enclaves
+//! down when their traces drain. Every lifecycle transition's metadata
+//! traffic — tree init writes, migration reads, counter resets, parity
+//! rebuilds, teardown zeroization — is returned to the system and
+//! contends for DRAM bandwidth like any other metadata.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use itesp_core::{MetaAccess, SecurityEngine};
+use itesp_enclave::EnclaveManager;
+use itesp_trace::{ChurnSession, ChurnWorkload, PageFree, PageMapper, PhysRecord, PAGE_BYTES};
+
+/// Mixed into the run seed for the churn mapper's fragmented free
+/// list, so page placement and session streams draw from independent
+/// randomness.
+const MAPPER_SEED_SALT: u64 = 0x9A6E_5EED;
+
+/// Mean extent length of the churn mapper's fragmented free list
+/// (matches the static experiments' long-running-kernel model).
+const MAPPER_MEAN_EXTENT: f64 = 4.0;
+
+/// Lifecycle activity measured over a churn run. Event counts come
+/// from the enclave manager; the traffic counters split the metadata
+/// DRAM accesses each lifecycle phase charged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnStats {
+    pub created: u64,
+    pub destroyed: u64,
+    /// Tree re-roots (first-touch allocation outgrew leaf capacity).
+    pub grows: u64,
+    pub pages_freed: u64,
+    /// Leaf-id grants that reused a previously-freed id.
+    pub leaves_recycled: u64,
+    /// High-water mark of live pages across all slots.
+    pub peak_live_pages: u64,
+    /// Create: cache-repartition read-modify-writes.
+    pub init_reads: u64,
+    /// Create: private-tree initialization + repartition writebacks.
+    pub init_writes: u64,
+    /// Grow: old-tree migration reads.
+    pub migration_reads: u64,
+    /// Grow: new-layout initialization writes.
+    pub grow_writes: u64,
+    /// Free: parity-group rebuild reads.
+    pub reset_reads: u64,
+    /// Free: counter-reset and parity writes.
+    pub reset_writes: u64,
+    /// Destroy: survivor-repartition read-modify-writes.
+    pub zeroize_reads: u64,
+    /// Destroy: counter/MAC zeroization + repartition writebacks.
+    pub zeroize_writes: u64,
+}
+
+impl ChurnStats {
+    /// All metadata accesses charged to lifecycle operations.
+    pub fn lifecycle_accesses(&self) -> u64 {
+        self.init_reads
+            + self.init_writes
+            + self.migration_reads
+            + self.grow_writes
+            + self.reset_reads
+            + self.reset_writes
+            + self.zeroize_reads
+            + self.zeroize_writes
+    }
+}
+
+fn tally(traffic: &[MetaAccess], reads: &mut u64, writes: &mut u64) {
+    for t in traffic {
+        if t.is_write {
+            *writes += 1;
+        } else {
+            *reads += 1;
+        }
+    }
+}
+
+/// The churn state machine the system consults every cycle.
+pub struct ChurnDriver {
+    /// Sessions not yet admitted, per slot.
+    pub(crate) queues: Vec<VecDeque<ChurnSession>>,
+    /// The running session's remaining free events, per slot.
+    pub(crate) frees: Vec<VecDeque<PageFree>>,
+    pub(crate) live: Vec<bool>,
+    /// Earliest cycle the slot's next session may start (`u64::MAX`
+    /// once the queue is empty).
+    pub(crate) ready_at: Vec<u64>,
+    mapper: PageMapper,
+    manager: EnclaveManager,
+    traffic: ChurnStats,
+}
+
+impl ChurnDriver {
+    /// Build a driver for `workload` over `phys_bytes` of allocatable
+    /// memory. `seed` keys the mapper's free-list placement and the
+    /// per-enclave MAC keys; `rebuild_parity` picks the free-time
+    /// parity policy (rebuild vs break).
+    pub fn new(workload: &ChurnWorkload, phys_bytes: u64, seed: u64, rebuild_parity: bool) -> Self {
+        let slots = workload.slots.len();
+        assert!(slots > 0, "churn workload needs at least one slot");
+        let queues: Vec<VecDeque<ChurnSession>> = workload
+            .slots
+            .iter()
+            .map(|q| q.iter().cloned().collect())
+            .collect();
+        let ready_at = queues
+            .iter()
+            .map(|q| q.front().map_or(u64::MAX, |s| s.arrival_gap))
+            .collect();
+        let mut manager = EnclaveManager::new(slots, seed);
+        manager.rebuild_parity = rebuild_parity;
+        ChurnDriver {
+            frees: vec![VecDeque::new(); slots],
+            live: vec![false; slots],
+            ready_at,
+            queues,
+            mapper: PageMapper::fragmented(
+                slots,
+                phys_bytes,
+                MAPPER_MEAN_EXTENT,
+                seed ^ MAPPER_SEED_SALT,
+            ),
+            manager,
+            traffic: ChurnStats::default(),
+        }
+    }
+
+    /// All sessions served and none running.
+    pub fn done(&self) -> bool {
+        self.live.iter().all(|l| !l) && self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Earliest pending arrival across slots waiting for one, for the
+    /// fast-forward clock.
+    pub(crate) fn next_ready(&self) -> Option<u64> {
+        self.live
+            .iter()
+            .zip(&self.ready_at)
+            .filter(|(live, _)| !**live)
+            .map(|(_, &r)| r)
+            .filter(|&r| r != u64::MAX)
+            .min()
+    }
+
+    /// Admit the slot's next session: create the enclave (tree install
+    /// and cache carve), arm its free events, and hand back the
+    /// physical trace for the core — virtual addresses, translated
+    /// lazily at fetch via [`Self::on_access`].
+    pub(crate) fn create(
+        &mut self,
+        slot: usize,
+        cycle: u64,
+        engine: &mut SecurityEngine,
+    ) -> Option<(Vec<PhysRecord>, Vec<MetaAccess>)> {
+        let session = self.queues[slot].pop_front()?;
+        let (_, traffic) = self.manager.create(engine, slot, session.footprint_pages);
+        tally(
+            &traffic,
+            &mut self.traffic.init_reads,
+            &mut self.traffic.init_writes,
+        );
+        self.frees[slot] = session.frees.into();
+        self.live[slot] = true;
+        // The next tenant's arrival clock starts at this admission.
+        self.ready_at[slot] = match self.queues[slot].front() {
+            Some(next) => cycle.saturating_add(next.arrival_gap),
+            None => u64::MAX,
+        };
+        let trace = session
+            .records
+            .iter()
+            .map(|r| PhysRecord {
+                gap: r.gap,
+                op: r.op,
+                // Virtual: the mapper translates at fetch time.
+                paddr: r.vaddr,
+            })
+            .collect();
+        Some((trace, traffic))
+    }
+
+    /// Translate one access of a running session, paying first-touch
+    /// costs (leaf grant, tree growth) as they arise. Returns the
+    /// physical address, the enclave-domain block index, and the
+    /// lifecycle traffic to enqueue.
+    pub(crate) fn on_access(
+        &mut self,
+        slot: usize,
+        vaddr: u64,
+        engine: &mut SecurityEngine,
+    ) -> (u64, u64, Vec<MetaAccess>) {
+        let t = self.mapper.translate(slot, vaddr);
+        let vpage = vaddr / PAGE_BYTES;
+        let (leaf, traffic) = self
+            .manager
+            .touch_page(engine, slot, vpage, t.paddr / PAGE_BYTES);
+        tally(
+            &traffic,
+            &mut self.traffic.migration_reads,
+            &mut self.traffic.grow_writes,
+        );
+        let eb = leaf * (PAGE_BYTES / 64) + (vaddr % PAGE_BYTES) / 64;
+        (t.paddr, eb, traffic)
+    }
+
+    /// Bump the write counter backing `vaddr`'s leaf.
+    pub(crate) fn record_write(&mut self, slot: usize, vaddr: u64) {
+        self.manager.record_write(slot, vaddr / PAGE_BYTES);
+    }
+
+    /// Fire one page-free event: unmap the frame and reset the leaf's
+    /// counters (plus parity rebuild-or-break) before recycling.
+    pub(crate) fn free_page(
+        &mut self,
+        slot: usize,
+        vaddr: u64,
+        engine: &mut SecurityEngine,
+    ) -> Vec<MetaAccess> {
+        if self.mapper.unmap_page(slot, vaddr).is_none() {
+            return Vec::new(); // page never materialized
+        }
+        let (_, traffic) = self
+            .manager
+            .free_page(engine, slot, vaddr / PAGE_BYTES)
+            .expect("mapper and manager page tables diverged");
+        tally(
+            &traffic,
+            &mut self.traffic.reset_reads,
+            &mut self.traffic.reset_writes,
+        );
+        traffic
+    }
+
+    /// Tear the slot's enclave down after its trace drained: zeroize
+    /// its metadata, release its pages, repartition the survivors.
+    pub(crate) fn session_end(
+        &mut self,
+        slot: usize,
+        engine: &mut SecurityEngine,
+    ) -> Vec<MetaAccess> {
+        // The two page tables are maintained on disjoint code paths;
+        // divergence means a leaked or double-freed page.
+        assert_eq!(
+            self.mapper.live_pages() as u64,
+            self.manager.total_live_pages(),
+            "mapper/manager live-page divergence at teardown"
+        );
+        self.frees[slot].clear();
+        self.mapper.release_program(slot);
+        let traffic = self.manager.destroy(engine, slot);
+        tally(
+            &traffic,
+            &mut self.traffic.zeroize_reads,
+            &mut self.traffic.zeroize_writes,
+        );
+        self.live[slot] = false;
+        traffic
+    }
+
+    /// Merged lifecycle statistics for the run result.
+    pub fn stats(&self) -> ChurnStats {
+        let m = self.manager.stats();
+        ChurnStats {
+            created: m.created,
+            destroyed: m.destroyed,
+            grows: m.grows,
+            pages_freed: m.pages_freed,
+            leaves_recycled: m.leaves_recycled,
+            peak_live_pages: m.peak_live_pages,
+            ..self.traffic
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{run_workload_churn, ExperimentParams};
+    use crate::stats::RunResult;
+    use itesp_core::Scheme;
+    use itesp_trace::{benchmark, ChurnConfig};
+
+    fn workload(seed: u64) -> ChurnWorkload {
+        ChurnWorkload::generate(
+            benchmark("mcf").unwrap(),
+            &ChurnConfig {
+                slots: 4,
+                sessions_per_slot: 2,
+                ops_per_session: 400,
+                mean_arrival_gap: 5_000.0,
+                footprint_pages: 16,
+                free_fraction: 0.4,
+                seed,
+            },
+        )
+    }
+
+    fn run(scheme: Scheme, seed: u64) -> RunResult {
+        let p = ExperimentParams {
+            seed,
+            ..ExperimentParams::paper_4core(scheme, 400)
+        };
+        run_workload_churn(&workload(seed), p)
+    }
+
+    #[test]
+    fn churn_serves_every_session_to_completion() {
+        let r = run(Scheme::Itesp, 11);
+        assert_eq!(r.churn.created, 8, "4 slots x 2 sessions");
+        assert_eq!(r.churn.destroyed, 8);
+        assert_eq!(r.engine.data_accesses(), 8 * 400);
+        assert!(r.churn.pages_freed > 0);
+        assert!(r.churn.peak_live_pages > 0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn lifecycle_transitions_cost_metadata_traffic() {
+        let r = run(Scheme::Itesp, 12);
+        // 16-page footprints over 4-page initial trees: growth and
+        // teardown both fire.
+        assert!(r.churn.grows > 0, "first touch must outgrow the tree");
+        assert!(r.churn.init_writes > 0, "create pays tree init");
+        assert!(r.churn.migration_reads > 0, "grow pays migration");
+        assert!(r.churn.reset_writes > 0, "free pays counter resets");
+        assert!(r.churn.zeroize_writes > 0, "destroy pays zeroization");
+    }
+
+    #[test]
+    fn freed_pages_recycle_leaf_ids() {
+        // Heavy freeing over a small footprint: later records re-touch
+        // freed pages, exercising the recycle path end to end.
+        let w = ChurnWorkload::generate(
+            benchmark("mcf").unwrap(),
+            &ChurnConfig {
+                slots: 4,
+                sessions_per_slot: 1,
+                ops_per_session: 1500,
+                mean_arrival_gap: 1_000.0,
+                footprint_pages: 8,
+                free_fraction: 0.5,
+                seed: 21,
+            },
+        );
+        let p = ExperimentParams {
+            seed: 21,
+            ..ExperimentParams::paper_4core(Scheme::Itesp, 1500)
+        };
+        let r = run_workload_churn(&w, p);
+        assert!(
+            r.churn.leaves_recycled > 0,
+            "freed leaves must be handed out again: {:?}",
+            r.churn
+        );
+    }
+
+    #[test]
+    fn unsecure_churn_is_metadata_free() {
+        let r = run(Scheme::Unsecure, 13);
+        assert_eq!(r.churn.created, 8);
+        assert_eq!(r.churn.lifecycle_accesses(), 0);
+        assert_eq!(r.engine.meta_accesses(), 0);
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic() {
+        let a = run(Scheme::Itesp, 14);
+        let b = run(Scheme::Itesp, 14);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.churn, b.churn);
+        assert_eq!(a.dram.reads, b.dram.reads);
+        assert_eq!(a.dram.writes, b.dram.writes);
+    }
+
+    #[test]
+    fn shared_scheme_churn_completes() {
+        let r = run(Scheme::Synergy, 15);
+        assert_eq!(r.churn.created, 8);
+        // No private trees to install/zeroize, but frees still reset
+        // the shared tree's leaves over the freed frames.
+        assert_eq!(r.churn.init_writes, 0);
+        assert_eq!(r.churn.zeroize_writes, 0);
+        assert!(r.churn.reset_writes > 0);
+    }
+}

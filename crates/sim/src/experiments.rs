@@ -12,7 +12,7 @@
 
 use itesp_core::{EngineConfig, Scheme};
 use itesp_dram::{AddressMapping, DramConfig};
-use itesp_trace::{Benchmark, MultiProgram};
+use itesp_trace::{Benchmark, ChurnWorkload, MultiProgram};
 
 use crate::ras::{RasConfig, RasError};
 use crate::stats::RunResult;
@@ -114,6 +114,18 @@ pub fn run_workload(mp: &MultiProgram, p: ExperimentParams) -> RunResult {
     let engine = p.engine_config(&dram);
     let cfg = SystemConfig::table_iii(dram, engine);
     System::new(cfg, mp).run()
+}
+
+/// Run a churn schedule: cores start idle and the lifecycle driver
+/// admits, grows, shrinks, and destroys enclave sessions as their
+/// arrival clocks pass, charging every transition as metadata DRAM
+/// traffic. The parameter set's `seed` keys page placement and
+/// per-enclave MAC keys; its `copies` must match the schedule's slots.
+pub fn run_workload_churn(w: &ChurnWorkload, p: ExperimentParams) -> RunResult {
+    let dram = p.dram_config();
+    let engine = p.engine_config(&dram);
+    let cfg = SystemConfig::table_iii(dram, engine);
+    System::new_churn(cfg, w, p.seed, true).run()
 }
 
 /// Run a pre-built workload with the online RAS pipeline enabled.

@@ -7,6 +7,8 @@
 //! ([`itesp-dram`]).
 //!
 //! * [`system`] — cores, ROBs, metadata/DRAM glue, the main loop;
+//! * [`churn`] — the enclave lifecycle driver: session admission,
+//!   tree growth, page frees, and secure teardown under churn;
 //! * [`ras`] — the online RAS pipeline: fault injection, correction
 //!   traffic, patrol scrub, and page retirement;
 //! * [`stats`] — run results and normalized metrics;
@@ -22,15 +24,18 @@
 //! assert!(itesp.normalized_time(&base) >= 1.0);
 //! ```
 
+pub mod churn;
 pub mod covert;
 pub mod experiments;
 pub mod ras;
 pub mod stats;
 pub mod system;
 
+pub use churn::{ChurnDriver, ChurnStats};
 pub use covert::{run_channel, ChannelPoint, CovertConfig, LatencyRange};
 pub use experiments::{
-    run_experiment, run_named, run_workload, run_workload_ras, try_run_named, ExperimentParams,
+    run_experiment, run_named, run_workload, run_workload_churn, run_workload_ras, try_run_named,
+    ExperimentParams,
 };
 pub use ras::{Drill, RasConfig, RasError, RasStats};
 pub use stats::RunResult;

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use itesp_core::{CacheStats, EngineStats, SecurityEngine};
 use itesp_dram::{ChannelStats, EnergyBreakdown, MemorySystem};
 
+use crate::churn::ChurnStats;
 use crate::ras::RasStats;
 use crate::system::CPU_PER_DRAM_CYCLE;
 
@@ -29,6 +30,8 @@ pub struct RunResult {
     pub drained_writes: u64,
     /// Online RAS pipeline statistics (all zeros when RAS was off).
     pub ras: RasStats,
+    /// Enclave lifecycle statistics (all zeros for static workloads).
+    pub churn: ChurnStats,
 }
 
 impl RunResult {
@@ -40,6 +43,7 @@ impl RunResult {
         mem: &MemorySystem,
         drained_writes: u64,
         ras: RasStats,
+        churn: ChurnStats,
     ) -> Self {
         let dram_cycles = cycles / CPU_PER_DRAM_CYCLE;
         RunResult {
@@ -52,6 +56,7 @@ impl RunResult {
             energy: mem.energy(dram_cycles),
             drained_writes,
             ras,
+            churn,
         }
     }
 
@@ -114,6 +119,7 @@ mod tests {
             },
             drained_writes: 0,
             ras: RasStats::default(),
+            churn: ChurnStats::default(),
         }
     }
 

@@ -14,8 +14,9 @@ use std::collections::{HashMap, VecDeque};
 
 use itesp_core::{EngineConfig, MetaAccess, SecurityEngine, TreeKind};
 use itesp_dram::{DramConfig, IssuedCommand, MemorySystem, RequestId};
-use itesp_trace::{MemOp, MultiProgram, PhysRecord, PAGE_BYTES};
+use itesp_trace::{ChurnWorkload, MemOp, MultiProgram, PhysRecord, PAGE_BYTES};
 
+use crate::churn::{ChurnDriver, ChurnStats};
 use crate::ras::{RasConfig, RasEngine, RasError, RasStats, ReadCheck};
 use crate::stats::RunResult;
 
@@ -130,6 +131,13 @@ impl Core {
         self.op_issued = false;
         self.gap_left = self.trace.get(self.pos).map_or(0, |r| u64::from(r.gap));
     }
+
+    /// Replace the trace for the slot's next enclave session (churn
+    /// only; the previous session has fully drained by then).
+    fn reload(&mut self, trace: Vec<PhysRecord>) {
+        debug_assert!(self.done(), "reloading a core with work in flight");
+        *self = Core::new(trace);
+    }
 }
 
 /// Per-core first-touch leaf-id assignment: physical page -> leaf id.
@@ -160,6 +168,9 @@ pub struct System {
     /// (partition, engine-domain block), for recovery parity lookups on
     /// patrol reads.
     ras_loc: HashMap<u64, (usize, u64)>,
+    /// Enclave lifecycle driver (`take`n during fetch/tick, like the
+    /// RAS engine); `None` = static workload.
+    churn: Option<ChurnDriver>,
     isolated: bool,
     cycle: u64,
 }
@@ -167,9 +178,13 @@ pub struct System {
 impl System {
     /// Build a system replaying `workload` (one trace per core).
     pub fn new(cfg: SystemConfig, workload: &MultiProgram) -> Self {
+        Self::from_traces(cfg, workload.traces.clone())
+    }
+
+    fn from_traces(cfg: SystemConfig, traces: Vec<Vec<PhysRecord>>) -> Self {
         let mem = MemorySystem::new(cfg.dram);
         let engine = SecurityEngine::new(cfg.engine);
-        let cores: Vec<Core> = workload.traces.iter().cloned().map(Core::new).collect();
+        let cores: Vec<Core> = traces.into_iter().map(Core::new).collect();
         let isolated = engine.spec().isolated;
         let ras = cfg.ras.clone().map(|rc| {
             RasEngine::new(
@@ -190,9 +205,35 @@ impl System {
             leaf_maps,
             ras,
             ras_loc: HashMap::new(),
+            churn: None,
             isolated,
             cycle: 0,
         }
+    }
+
+    /// Build a system serving a churn schedule: cores start empty and
+    /// the lifecycle driver admits/destroys enclave sessions as their
+    /// arrival times pass. `seed` keys page placement and per-enclave
+    /// MAC keys; `rebuild_parity` picks the free-time parity policy.
+    ///
+    /// # Panics
+    /// Panics if the workload's slot count differs from the engine's
+    /// enclave count (slot i maps to cache/tree partition i).
+    pub fn new_churn(
+        cfg: SystemConfig,
+        workload: &ChurnWorkload,
+        seed: u64,
+        rebuild_parity: bool,
+    ) -> Self {
+        let slots = workload.slots.len();
+        assert_eq!(
+            cfg.engine.enclaves, slots,
+            "churn needs one engine enclave per slot"
+        );
+        let phys_bytes = cfg.dram.geometry.capacity_bytes();
+        let mut sys = Self::from_traces(cfg, vec![Vec::new(); slots]);
+        sys.churn = Some(ChurnDriver::new(workload, phys_bytes, seed, rebuild_parity));
+        sys
     }
 
     /// Dense per-enclave block index for an access: the engine needs
@@ -315,6 +356,8 @@ impl System {
                 }
             }
 
+            self.churn_tick();
+
             for core_idx in 0..ncores {
                 self.retire(core_idx);
                 self.fetch(core_idx);
@@ -323,6 +366,39 @@ impl System {
             self.try_fast_forward();
             self.cycle += 1;
         }
+    }
+
+    /// One CPU-cycle step of the enclave lifecycle: fire page-free
+    /// events whose records have issued, tear down sessions whose
+    /// traces drained, and admit arrivals whose clocks have passed.
+    /// All resulting metadata traffic joins the pending queue.
+    fn churn_tick(&mut self) {
+        let Some(mut ch) = self.churn.take() else {
+            return;
+        };
+        for s in 0..self.cores.len() {
+            if ch.live[s] {
+                while ch.frees[s]
+                    .front()
+                    .is_some_and(|f| f.after_record < self.cores[s].pos)
+                {
+                    let f = ch.frees[s].pop_front().expect("checked front");
+                    let traffic = ch.free_page(s, f.vaddr, &mut self.engine);
+                    self.queue_meta(&traffic);
+                }
+                if self.cores[s].done() {
+                    let traffic = ch.session_end(s, &mut self.engine);
+                    self.queue_meta(&traffic);
+                }
+            }
+            if !ch.live[s] && self.cycle >= ch.ready_at[s] {
+                if let Some((trace, traffic)) = ch.create(s, self.cycle, &mut self.engine) {
+                    self.queue_meta(&traffic);
+                    self.cores[s].reload(trace);
+                }
+            }
+        }
+        self.churn = Some(ch);
     }
 
     /// One DRAM-cycle step of the RAS pipeline: execute deferred page
@@ -472,7 +548,10 @@ impl System {
     }
 
     fn all_done(&self) -> bool {
-        self.cores.iter().all(Core::done) && self.mem.is_idle() && self.pending_meta.is_empty()
+        self.cores.iter().all(Core::done)
+            && self.mem.is_idle()
+            && self.pending_meta.is_empty()
+            && self.churn.as_ref().is_none_or(ChurnDriver::done)
     }
 
     /// Issue queued metadata / writeback transactions as space frees up.
@@ -542,15 +621,17 @@ impl System {
         if self.cores[ci].stall_until > self.cycle {
             return;
         }
-        // The leaf map steps aside so fetch can borrow the rest of the
-        // system mutably; retirement remaps run at DRAM ticks, never
-        // inside fetch, so this window is safe.
+        // The leaf map and churn driver step aside so fetch can borrow
+        // the rest of the system mutably; retirement remaps run at DRAM
+        // ticks, never inside fetch, so this window is safe.
         let mut lm = std::mem::take(&mut self.leaf_maps[ci]);
-        self.fetch_with(ci, &mut lm);
+        let mut ch = self.churn.take();
+        self.fetch_with(ci, &mut lm, ch.as_mut());
+        self.churn = ch;
         self.leaf_maps[ci] = lm;
     }
 
-    fn fetch_with(&mut self, ci: usize, lm: &mut LeafMap) {
+    fn fetch_with(&mut self, ci: usize, lm: &mut LeafMap, mut ch: Option<&mut ChurnDriver>) {
         let dram_now = self.cycle / CPU_PER_DRAM_CYCLE;
         let mut budget = self.cfg.width;
         while budget > 0 {
@@ -575,10 +656,20 @@ impl System {
             // Fetch the record's memory operation (one ROB slot). The
             // engine sees the original physical address (metadata is
             // keyed by it); DRAM sees the frame currently backing it.
+            // Churn traces carry *virtual* addresses, translated here
+            // lazily — pages can be freed and re-touched mid-session,
+            // so translations cannot be precomputed.
             let rec = core.trace[core.pos];
             let is_write = rec.op == MemOp::Write;
-            let eb = Self::enclave_block(lm, rec.paddr);
-            let daddr = self.frame_addr(rec.paddr);
+            let (paddr, eb) = match ch.as_deref_mut() {
+                Some(d) => {
+                    let (paddr, eb, lifecycle) = d.on_access(ci, rec.paddr, &mut self.engine);
+                    self.queue_meta(&lifecycle);
+                    (paddr, eb)
+                }
+                None => (rec.paddr, Self::enclave_block(lm, rec.paddr)),
+            };
+            let daddr = self.frame_addr(paddr);
             let core = &mut self.cores[ci];
             if is_write {
                 // Writes retire into the write queue; metadata issues now.
@@ -591,12 +682,15 @@ impl System {
                 if !ok {
                     self.cores[ci].blocked_write = Some(daddr);
                 }
-                let out = self.engine.on_access(ci, rec.paddr, eb, true);
+                let out = self.engine.on_access(ci, paddr, eb, true);
                 if out.stall_cycles > 0 {
                     self.cores[ci].stall_until = self.cycle + out.stall_cycles;
                 }
                 self.queue_meta(&out.mem);
-                self.ras_on_demand(ci, rec.paddr, daddr, eb, true);
+                if let Some(d) = ch.as_deref_mut() {
+                    d.record_write(ci, rec.paddr);
+                }
+                self.ras_on_demand(ci, paddr, daddr, eb, true);
                 if self.cores[ci].blocked_write.is_some() {
                     break; // can't run ahead past a blocked write
                 }
@@ -613,12 +707,12 @@ impl System {
                             done: false,
                         });
                         self.tags.insert(id, ReqTag { core: ci, rob_pos });
-                        let out = self.engine.on_access(ci, rec.paddr, eb, false);
+                        let out = self.engine.on_access(ci, paddr, eb, false);
                         if out.stall_cycles > 0 {
                             self.cores[ci].stall_until = self.cycle + out.stall_cycles;
                         }
                         self.queue_meta(&out.mem);
-                        self.ras_on_demand(ci, rec.paddr, daddr, eb, false);
+                        self.ras_on_demand(ci, paddr, daddr, eb, false);
                     }
                     Err(_) => break, // fetch stalls on a full read queue
                 }
@@ -655,6 +749,11 @@ impl System {
         if let Some(ras) = &self.ras {
             let ev_cpu = ras.next_event(false).saturating_mul(CPU_PER_DRAM_CYCLE);
             jump = jump.min(ev_cpu.saturating_sub(self.cycle));
+        }
+        // Likewise the next enclave arrival: idle slots may only sleep
+        // until their session's admission time.
+        if let Some(ready) = self.churn.as_ref().and_then(ChurnDriver::next_ready) {
+            jump = jump.min(ready.saturating_sub(self.cycle));
         }
         if jump == u64::MAX || jump < 8 {
             return;
@@ -696,6 +795,11 @@ impl System {
             None => RasStats::default(),
         };
 
+        let churn = self
+            .churn
+            .as_ref()
+            .map_or_else(ChurnStats::default, ChurnDriver::stats);
+
         let finishes: Vec<u64> = self
             .cores
             .iter()
@@ -708,6 +812,7 @@ impl System {
             &self.mem,
             extra_writes,
             ras,
+            churn,
         )
     }
 }

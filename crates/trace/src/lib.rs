@@ -13,7 +13,10 @@
 //! * [`pages`] — a first-touch physical page allocator (interleaved
 //!   across programs, as a real OS free-list would) and the per-enclave
 //!   dense leaf-id assignment used by isolated trees;
-//! * [`multiprog`] — 4/8-copy multiprogrammed composition.
+//! * [`multiprog`] — 4/8-copy multiprogrammed composition;
+//! * [`churn`] — multi-tenant enclave session schedules (Poisson
+//!   arrivals, bounded footprints, mid-life page frees) for the
+//!   lifecycle experiments.
 //!
 //! ```
 //! use itesp_trace::{suites::benchmark, MultiProgram};
@@ -22,6 +25,7 @@
 //! assert_eq!(mp.copies(), 4);
 //! ```
 
+pub mod churn;
 pub mod error;
 pub mod multiprog;
 pub mod pages;
@@ -29,6 +33,7 @@ pub mod record;
 pub mod suites;
 pub mod workload;
 
+pub use churn::{ChurnConfig, ChurnSession, ChurnWorkload, PageFree};
 pub use error::TraceError;
 pub use multiprog::MultiProgram;
 pub use pages::{FreeListModel, PageMapper, Translation};

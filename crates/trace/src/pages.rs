@@ -198,6 +198,44 @@ impl PageMapper {
         }
     }
 
+    /// Unmap one virtual page of `prog`, returning its physical page to
+    /// the free list (the fragmented model can hand it out again; the
+    /// sequential model's wrapping cursor needs no bookkeeping).
+    /// Returns the physical page number, or `None` if the page was
+    /// never touched. A later re-touch allocates a *fresh* physical
+    /// page and a fresh mapper leaf-id — recycled per-enclave leaf-ids
+    /// are the enclave manager's job, not the mapper's.
+    pub fn unmap_page(&mut self, prog: usize, vaddr: u64) -> Option<u64> {
+        let vpage = page_of(vaddr);
+        let map = &mut self.programs[prog];
+        let ppage = map.v2p.remove(&vpage)?;
+        map.v2leaf.remove(&vpage);
+        self.used.remove(&ppage);
+        Some(ppage)
+    }
+
+    /// Release every mapping of `prog` at once (enclave teardown),
+    /// resetting its map for the slot's next tenant. Returns how many
+    /// pages went back to the free list. Without this (and
+    /// [`Self::unmap_page`]), `v2p`/`v2leaf` grow without bound under
+    /// churn: every session would leak its translations forever.
+    pub fn release_program(&mut self, prog: usize) -> usize {
+        let map = std::mem::take(&mut self.programs[prog]);
+        let released = map.v2p.len();
+        for ppage in map.v2p.into_values() {
+            self.used.remove(&ppage);
+        }
+        released
+    }
+
+    /// Currently mapped pages across all programs. The enclave
+    /// manager's invariant checks compare this against its own
+    /// live-page count — the two are updated on disjoint code paths,
+    /// so divergence means a leaked or double-freed page.
+    pub fn live_pages(&self) -> usize {
+        self.programs.iter().map(|p| p.v2p.len()).sum()
+    }
+
     /// Per-program statistics.
     pub fn program(&self, prog: usize) -> &ProgramMap {
         &self.programs[prog]
@@ -317,6 +355,46 @@ mod tests {
         }
         assert_eq!(m.translate(0, 4 * PAGE_BYTES).paddr / PAGE_BYTES, 0);
         assert_eq!(m.translate(0, 5 * PAGE_BYTES).paddr / PAGE_BYTES, 1);
+    }
+
+    #[test]
+    fn unmap_returns_page_to_the_free_list() {
+        let mut m = PageMapper::fragmented(1, 8 * PAGE_BYTES, 4.0, 13);
+        // Exhaust the tiny span.
+        let pages: HashSet<u64> = (0..8u64)
+            .map(|i| m.translate(0, i * PAGE_BYTES).paddr / PAGE_BYTES)
+            .collect();
+        assert_eq!(pages.len(), 8);
+        assert_eq!(m.live_pages(), 8);
+        let freed = m.unmap_page(0, 3 * PAGE_BYTES).expect("was mapped");
+        assert_eq!(m.live_pages(), 7);
+        assert!(m.unmap_page(0, 3 * PAGE_BYTES).is_none(), "double unmap");
+        // The freed frame is allocatable again: the only free page in
+        // the span must be the one just returned.
+        let t = m.translate(0, 100 * PAGE_BYTES);
+        assert_eq!(t.paddr / PAGE_BYTES, freed);
+    }
+
+    #[test]
+    fn release_program_resets_the_slot_for_the_next_tenant() {
+        let mut m = PageMapper::fragmented(2, 1 << 24, 4.0, 21);
+        for i in 0..50u64 {
+            m.translate(0, i * PAGE_BYTES);
+            m.translate(1, i * PAGE_BYTES);
+        }
+        assert_eq!(m.release_program(0), 50);
+        assert_eq!(m.live_pages(), 50, "program 1 untouched");
+        assert_eq!(m.program(0).pages_touched(), 0);
+        // Long-churn leak fix: cycling sessions through a slot keeps
+        // the translation tables bounded by the live working set.
+        for round in 0..20u64 {
+            for i in 0..50u64 {
+                m.translate(0, (round * 1000 + i) * PAGE_BYTES);
+            }
+            assert_eq!(m.release_program(0), 50);
+        }
+        assert_eq!(m.program(0).pages_touched(), 0);
+        assert_eq!(m.live_pages(), 50);
     }
 
     #[test]
