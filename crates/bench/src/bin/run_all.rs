@@ -14,9 +14,11 @@
 //! the process exits nonzero at the end.
 
 use std::process::Command;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use itesp_bench::{save_json, target_retries_from_env, target_timeout_from_env};
+use itesp_bench::{
+    jobs_from_env, ops_from_env, save_json, target_retries_from_env, target_timeout_from_env,
+};
 use serde::Serialize;
 
 const TARGETS: &[&str] = &[
@@ -36,6 +38,93 @@ struct TargetReport {
 struct Summary {
     targets: Vec<TargetReport>,
     failures: Vec<String>,
+}
+
+/// One appended line of the committed perf trajectory
+/// (`BENCH_run_all.json`): enough context to compare runs across
+/// revisions at equal parameters.
+#[derive(Serialize)]
+struct BenchLogEntry {
+    /// Unix seconds when the campaign finished.
+    timestamp: u64,
+    /// `git rev-parse --short HEAD`, with `+dirty` when the tree has
+    /// uncommitted changes ("unknown" outside a git checkout).
+    git_rev: String,
+    jobs: usize,
+    ops: usize,
+    /// Wall-clock seconds per target, in campaign order.
+    targets: Vec<TargetSeconds>,
+    total_seconds: f64,
+    failures: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct TargetSeconds {
+    target: String,
+    seconds: f64,
+}
+
+fn git_rev() -> String {
+    let out = |args: &[&str]| {
+        Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+    };
+    let Some(rev) = out(&["rev-parse", "--short=12", "HEAD"]) else {
+        return "unknown".to_owned();
+    };
+    match out(&["status", "--porcelain"]) {
+        Some(s) if !s.is_empty() => format!("{rev}+dirty"),
+        _ => rev,
+    }
+}
+
+/// Append this run's per-target seconds to the perf-trajectory log
+/// (`BENCH_run_all.json`, or `ITESP_BENCH_LOG`). The log is a JSON
+/// array of [`BenchLogEntry`]; a corrupt or missing file starts fresh
+/// rather than aborting a finished campaign.
+fn append_bench_log(reports: &[TargetReport], failures: &[String]) {
+    let path = std::env::var("ITESP_BENCH_LOG").unwrap_or_else(|_| "BENCH_run_all.json".to_owned());
+    let entry = BenchLogEntry {
+        timestamp: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        git_rev: git_rev(),
+        jobs: jobs_from_env(),
+        ops: ops_from_env(),
+        targets: reports
+            .iter()
+            .map(|r| TargetSeconds {
+                target: r.target.clone(),
+                seconds: r.seconds,
+            })
+            .collect(),
+        total_seconds: reports.iter().map(|r| r.seconds).sum(),
+        failures: failures.to_vec(),
+    };
+    let rendered = serde_json::to_string_pretty(&entry).expect("entry serializes");
+    // The vendored serde_json reads but cannot re-serialize parsed
+    // values, so append by splicing into the validated array text.
+    let existing = std::fs::read_to_string(&path)
+        .ok()
+        .filter(|s| serde_json::from_str(s).is_ok())
+        .map(|s| s.trim_end().to_owned())
+        .filter(|s| s.ends_with(']') && s.starts_with('['));
+    let body = match existing {
+        Some(arr) if arr.trim_start_matches('[').trim_start().starts_with(']') => {
+            format!("[\n{rendered}\n]")
+        }
+        Some(arr) => format!("{},\n{rendered}\n]", arr.trim_end_matches(']').trim_end()),
+        None => format!("[\n{rendered}\n]"),
+    };
+    if let Err(e) = std::fs::write(&path, body + "\n") {
+        eprintln!("warning: could not append bench log {path}: {e}");
+    } else {
+        println!("[bench trajectory appended to {path}]");
+    }
 }
 
 enum TargetStatus {
@@ -162,6 +251,7 @@ fn main() {
         failures: failures.clone(),
     };
     save_json("run_all_summary", &summary);
+    append_bench_log(&summary.targets, &summary.failures);
 
     if failures.is_empty() {
         println!("\nAll {} regenerators completed.", TARGETS.len());

@@ -141,6 +141,38 @@ pub struct AccessOutcome {
     pub case: MissCase,
 }
 
+/// One queued data access, as a drained request queue hands it to
+/// [`SecurityEngine::on_access_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRequest {
+    pub enclave: usize,
+    pub paddr: u64,
+    /// Dense per-enclave block index (see [`SecurityEngine::on_access`]).
+    pub enclave_block: u64,
+    pub is_write: bool,
+}
+
+/// The result of filtering a drained burst: one transaction list for
+/// the whole burst (a single allocation instead of one per request)
+/// plus each request's slice of it and classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Extra memory transactions for the whole burst, in issue order.
+    pub mem: Vec<MetaAccess>,
+    /// Per-request outcomes, in burst order.
+    pub requests: Vec<RequestOutcome>,
+}
+
+/// One request's share of a [`BatchOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// This request's transactions are `mem[mem_start..mem_start + mem_len]`.
+    pub mem_start: usize,
+    pub mem_len: usize,
+    pub stall_cycles: u64,
+    pub case: MissCase,
+}
+
 /// Engine configuration, independent of the DRAM model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -315,6 +347,24 @@ pub struct SecurityEngine {
     overflow: Option<OverflowTracker>,
     regions: Regions,
     stats: EngineStats,
+    /// Ancestor memo: per partition, the leaf whose verified path was
+    /// the cache's last touch (see [`Self::walk_tree`]). `None` when
+    /// anything else has touched that partition's tree cache since.
+    tree_memo: Vec<Option<TreeMemo>>,
+    /// Runtime toggle for the memo fast path (equivalence tests run
+    /// with it off to obtain the scalar reference behavior).
+    memo_enabled: bool,
+}
+
+/// One memoized verified tree path: the last-touched leaf and its
+/// metadata address. Valid only while the partition's tree cache has
+/// seen no other traffic, which guarantees the leaf line is still
+/// resident — so a same-leaf access hits at the leaf and stops there,
+/// exactly like the full walk would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TreeMemo {
+    leaf_index: u64,
+    leaf_addr: u64,
 }
 
 /// Cap on dirty-writeback cascade processing per access (the lazy
@@ -398,7 +448,18 @@ impl SecurityEngine {
                 parity_bases,
             },
             stats: EngineStats::default(),
+            tree_memo: (0..parts).map(|_| None).collect(),
+            memo_enabled: true,
         })
+    }
+
+    /// Enable or disable the ancestor-memo fast path. Disabling also
+    /// drops every memoized path, so the next access per partition
+    /// performs the full scalar walk — the mode the lockstep
+    /// equivalence tests compare against.
+    pub fn set_tree_memo(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+        self.tree_memo.iter_mut().for_each(|m| *m = None);
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -500,19 +561,64 @@ impl SecurityEngine {
         enclave_block: u64,
         is_write: bool,
     ) -> AccessOutcome {
+        let mut mem = Vec::new();
+        let (stall, case) = self.access_into(enclave, paddr, enclave_block, is_write, &mut mem);
+        AccessOutcome {
+            mem,
+            stall_cycles: stall,
+            case,
+        }
+    }
+
+    /// Filter a drained burst of queued accesses in one pass, appending
+    /// every request's metadata transactions to a single shared list.
+    /// Per-request results (transaction slice, stall, classification)
+    /// are identical to issuing each request through [`on_access`] in
+    /// burst order — the batcher buys the allocation and dispatch
+    /// savings, not a semantic change.
+    ///
+    /// [`on_access`]: Self::on_access
+    pub fn on_access_batch(&mut self, reqs: &[AccessRequest]) -> BatchOutcome {
+        let mut mem = Vec::new();
+        let mut requests = Vec::with_capacity(reqs.len());
+        for r in reqs {
+            let mem_start = mem.len();
+            let (stall, case) =
+                self.access_into(r.enclave, r.paddr, r.enclave_block, r.is_write, &mut mem);
+            requests.push(RequestOutcome {
+                mem_start,
+                mem_len: mem.len() - mem_start,
+                stall_cycles: stall,
+                case,
+            });
+        }
+        BatchOutcome { mem, requests }
+    }
+
+    /// The body shared by [`Self::on_access`] and
+    /// [`Self::on_access_batch`]: filter one access, appending its
+    /// transactions to `mem` and returning its stall and class.
+    fn access_into(
+        &mut self,
+        enclave: usize,
+        paddr: u64,
+        enclave_block: u64,
+        is_write: bool,
+        mem: &mut Vec<MetaAccess>,
+    ) -> (u64, MissCase) {
         if is_write {
             self.stats.data_writes += 1;
         } else {
             self.stats.data_reads += 1;
         }
 
-        let mut mem = Vec::new();
+        let start = mem.len();
         let (part, block) = self.locate(enclave, paddr, enclave_block);
 
         // 1. Counter-tree walk (verification and, on writes, counter
         //    increment).
         let tree_misses = if self.geo.is_some() {
-            self.walk_tree(part, block, is_write, &mut mem)
+            self.walk_tree(part, block, is_write, mem)
         } else {
             0
         };
@@ -520,14 +626,14 @@ impl SecurityEngine {
         // 2. Separate MAC structure (VAULT-style only; Synergy's MAC
         //    rides the ECC pins for free).
         let mac_missed = if self.geo.is_some() && !self.spec.mac_inline {
-            self.mac_access(part, block, is_write, &mut mem)
+            self.mac_access(part, block, is_write, mem)
         } else {
             false
         };
 
         // 3. Correction-parity update on writes.
         if is_write {
-            self.parity_update(part, block, &mut mem);
+            self.parity_update(part, block, mem);
         }
 
         // 4. Local-counter overflow stalls (Figure 11 runs).
@@ -549,7 +655,7 @@ impl SecurityEngine {
         let case = MissCase::classify(mac_missed, tree_misses);
         self.stats.case_counts[case.index()] += 1;
 
-        for m in &mem {
+        for m in &mem[start..] {
             if m.is_write {
                 self.stats.meta_writes[m.kind.index()] += 1;
             } else {
@@ -557,16 +663,22 @@ impl SecurityEngine {
             }
         }
 
-        AccessOutcome {
-            mem,
-            stall_cycles: stall,
-            case,
-        }
+        (stall, case)
     }
 
     /// Walk leaf-to-top until an on-chip hit; returns levels fetched
     /// from memory. Dirty evictions propagate hashes lazily: the victim
     /// is written back and its parent is dirtied.
+    ///
+    /// Consecutive same-leaf accesses take the ancestor-memo fast path:
+    /// when the partition's last tree-cache touch was a clean walk of
+    /// this very leaf (leaf hit, no writebacks), the leaf line is still
+    /// resident and the scalar walk would perform exactly one hit
+    /// access and stop — so the memo path performs exactly that single
+    /// access, with no iterator walk and byte-identical cache state and
+    /// stats. Any other traffic into the partition's tree cache (longer
+    /// walks, writeback cascades, fallback parity lines, lifecycle
+    /// flushes) invalidates the memo.
     fn walk_tree(
         &mut self,
         part: usize,
@@ -578,13 +690,33 @@ impl SecurityEngine {
             .as_ref()
             .or(self.geo.as_ref())
             .expect("walk_tree requires a tree");
+        let leaf_index = geo.leaf_of(block).index;
+
+        if self.memo_enabled {
+            if let Some(memo) = self.tree_memo[part] {
+                if memo.leaf_index == leaf_index {
+                    let cache = self.tree_cache.as_mut().expect("tree implies tree cache");
+                    let out = cache.access(part, memo.leaf_addr, dirty_leaf);
+                    debug_assert!(
+                        out.hit && out.writeback.is_none(),
+                        "memoized leaf must still be resident"
+                    );
+                    return 0;
+                }
+            }
+        }
+
         let cache = self.tree_cache.as_mut().expect("tree implies tree cache");
         let base = self.regions.tree_bases[part];
 
         let mut misses = 0;
         let mut pending = Vec::new();
+        let mut leaf_addr = 0;
         for node in geo.walk(block) {
             let addr = geo.node_addr(base, node);
+            if node.level == 0 {
+                leaf_addr = addr;
+            }
             let out = cache.access(part, addr, dirty_leaf && node.level == 0);
             if let Some(victim) = out.writeback {
                 pending.push(victim);
@@ -602,7 +734,15 @@ impl SecurityEngine {
 
         // Lazy hash propagation for evicted dirty nodes (and plain
         // writes for evicted fallback-parity lines).
+        let clean_walk = pending.is_empty();
         self.process_writebacks(part, pending, mem);
+        // Memoize only a walk that was a single leaf hit: no
+        // allocations, so no line (the leaf included) can have been
+        // silently evicted, and the fast path replays it exactly.
+        self.tree_memo[part] = (misses == 0 && clean_walk).then_some(TreeMemo {
+            leaf_index,
+            leaf_addr,
+        });
         misses
     }
 
@@ -620,6 +760,11 @@ impl SecurityEngine {
         mut pending: Vec<u64>,
         mem: &mut Vec<MetaAccess>,
     ) {
+        if !pending.is_empty() {
+            // Writeback traffic re-touches the partition's tree cache
+            // (parent accesses may allocate and evict): drop the memo.
+            self.tree_memo[part] = None;
+        }
         let geo = self.part_geos[part]
             .as_ref()
             .or(self.geo.as_ref())
@@ -846,6 +991,9 @@ impl SecurityEngine {
                     // are mapped to different shared parity blocks"
                     // (Section V-C) and writes do not coalesce.
                     let line = self.fallback_parity_line(part, block);
+                    // This access shares the unified tree cache and can
+                    // silently evict the memoized leaf: drop the memo.
+                    self.tree_memo[part] = None;
                     let cache = self.tree_cache.as_mut().expect("tree cache");
                     let out = cache.access(part, line, true);
                     if !out.hit {
@@ -910,6 +1058,7 @@ impl SecurityEngine {
         // Any resident lines belong to a previous tenant's layout; the
         // destroy path already discarded them, but be safe against a
         // re-install without an intervening reset.
+        self.tree_memo[part] = None;
         if let Some(c) = self.tree_cache.as_mut() {
             c.partition_mut(part).discard();
         }
@@ -958,6 +1107,7 @@ impl SecurityEngine {
         let base = self.regions.tree_bases[part];
         let parity_base = self.regions.parity_bases[part];
         let mut mem = Vec::new();
+        self.tree_memo[part] = None;
         if let Some(c) = self.tree_cache.as_mut() {
             for addr in c.partition_mut(part).flush() {
                 // The unified cache can hold fallback-parity lines;
@@ -1007,6 +1157,7 @@ impl SecurityEngine {
         let Some(geo) = self.part_geos[part].take() else {
             return Vec::new();
         };
+        self.tree_memo[part] = None;
         for c in [
             &mut self.tree_cache,
             &mut self.mac_cache,
@@ -1112,6 +1263,8 @@ impl SecurityEngine {
         }
 
         let mut mem = Vec::new();
+        // Recycled leaves must never serve from a memoized path.
+        self.tree_memo[part] = None;
         if let Some(c) = self.tree_cache.as_mut() {
             let p = c.partition_mut(part);
             for &addr in &leaf_addrs {
@@ -1193,6 +1346,8 @@ impl SecurityEngine {
         let shared_parity = matches!(self.spec.parity, ParityMode::Shared(_));
         let parity_bases = self.regions.parity_bases.clone();
         let mut mem = Vec::new();
+        // Resizing re-homes or spills lines in every partition.
+        self.tree_memo.iter_mut().for_each(|m| *m = None);
         for (cache, kind) in [
             (&mut self.tree_cache, MetaKind::Tree),
             (&mut self.mac_cache, MetaKind::Mac),
@@ -1232,6 +1387,7 @@ impl SecurityEngine {
     /// bookkeeping so dirty metadata is not silently dropped).
     pub fn drain(&mut self) -> Vec<MetaAccess> {
         let mut mem = Vec::new();
+        self.tree_memo.iter_mut().for_each(|m| *m = None);
         // The unified tree cache can also hold fallback shared-parity
         // lines (embedding not viable); label those as parity on the way
         // out, matching the eviction path in `process_writebacks`.

@@ -28,6 +28,7 @@ pub mod engine;
 pub mod error;
 pub mod mac;
 pub mod overhead;
+pub mod reference;
 pub mod scheme;
 pub mod tree;
 pub mod verify;
@@ -35,11 +36,13 @@ pub mod verify;
 pub use cache::{CacheOutcome, CacheStats, MetaCache, PartitionedCache};
 pub use counters::{OverflowTracker, OVERFLOW_PENALTY_128};
 pub use engine::{
-    AccessOutcome, EngineConfig, EngineStats, MetaAccess, MetaKind, MissCase, SecurityEngine,
+    AccessOutcome, AccessRequest, BatchOutcome, EngineConfig, EngineStats, MetaAccess, MetaKind,
+    MissCase, RequestOutcome, SecurityEngine,
 };
 pub use error::{EngineConfigError, Error};
-pub use mac::{hash_node, mac_block, siphash24, MacKey};
+pub use mac::{hash_node, mac_block, mac_block_x4, siphash24, siphash24_batch, MacKey};
 pub use overhead::{table_i, OverheadRow};
+pub use reference::ReferenceEngine;
 pub use scheme::{ParityMode, Scheme, SchemeSpec, TreeKind};
 pub use tree::{NodeId, TreeGeometry, NODE_BYTES};
 pub use verify::{IntegrityError, Snapshot, VerifiedMemory};

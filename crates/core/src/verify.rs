@@ -23,8 +23,40 @@
 
 use std::collections::HashMap;
 
-use crate::mac::{mac_block, siphash24, MacKey};
+use crate::mac::{mac_block, mac_block_x4, siphash24_words, MacKey};
 use crate::tree::{NodeId, TreeGeometry};
+
+/// Upper bound on the counter/summary words one node summary packs: no
+/// geometry in the repo has an arity above 128, so summaries hash from
+/// a fixed stack buffer instead of a per-call `Vec`.
+const MAX_PACK_WORDS: usize = 128;
+
+/// Fixed-capacity word packer for node summaries: collects up to
+/// [`MAX_PACK_WORDS`] u64 lanes on the stack and hashes them without
+/// materializing a byte buffer (see [`siphash24_words`]).
+struct WordPack {
+    words: [u64; MAX_PACK_WORDS],
+    len: usize,
+}
+
+impl WordPack {
+    fn new() -> Self {
+        WordPack {
+            words: [0; MAX_PACK_WORDS],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, w: u64) {
+        assert!(self.len < MAX_PACK_WORDS, "node arity above pack capacity");
+        self.words[self.len] = w;
+        self.len += 1;
+    }
+
+    fn hash(&self, key: &MacKey) -> u64 {
+        siphash24_words(key, &self.words[..self.len])
+    }
+}
 
 /// Why a read failed verification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,11 +143,11 @@ impl VerifiedMemory {
     fn compute_leaf_summary(&self, leaf: NodeId) -> u64 {
         let arity = self.geo.leaf_arity();
         let first = leaf.index * arity;
-        let mut msg = Vec::with_capacity((arity as usize) * 8);
+        let mut pack = WordPack::new();
         for b in first..(first + arity).min(self.geo.data_blocks()) {
-            msg.extend_from_slice(&self.counters.get(&b).copied().unwrap_or(0).to_le_bytes());
+            pack.push(self.counters.get(&b).copied().unwrap_or(0));
         }
-        siphash24(&self.key, &msg)
+        pack.hash(&self.key)
     }
 
     /// Recompute an internal node's summary from its children's stored
@@ -123,22 +155,15 @@ impl VerifiedMemory {
     fn compute_internal_summary(&self, node: NodeId) -> u64 {
         let child_level = node.level - 1;
         let arity = self.geo.child_arity(node.level);
-        let mut msg = Vec::with_capacity((arity as usize) * 8);
+        let mut pack = WordPack::new();
         for i in 0..arity {
             let child = NodeId {
                 level: child_level,
                 index: node.index * arity + i,
             };
-            msg.extend_from_slice(
-                &self
-                    .summaries
-                    .get(&child)
-                    .copied()
-                    .unwrap_or(0)
-                    .to_le_bytes(),
-            );
+            pack.push(self.summaries.get(&child).copied().unwrap_or(0));
         }
-        siphash24(&self.key, &msg)
+        pack.hash(&self.key)
     }
 
     fn compute_summary(&self, node: NodeId) -> u64 {
@@ -154,22 +179,15 @@ impl VerifiedMemory {
     fn compute_root(&self) -> u64 {
         let top = self.geo.depth() - 1;
         let top_nodes = self.geo.level_count(top);
-        let mut msg = Vec::with_capacity((top_nodes as usize) * 8);
+        let mut pack = WordPack::new();
         for i in 0..top_nodes {
             let node = NodeId {
                 level: top,
                 index: i,
             };
-            msg.extend_from_slice(
-                &self
-                    .summaries
-                    .get(&node)
-                    .copied()
-                    .unwrap_or(0)
-                    .to_le_bytes(),
-            );
+            pack.push(self.summaries.get(&node).copied().unwrap_or(0));
         }
-        siphash24(&self.key, &msg)
+        pack.hash(&self.key)
     }
 
     /// Write `data` to `block`: bump the counter, recompute the MAC,
@@ -215,8 +233,14 @@ impl VerifiedMemory {
         if mac_block(&self.key, &data, counter, Self::addr_of(block)) != stored_mac {
             return Err(IntegrityError::MacMismatch { block });
         }
-        // Verify the tree path against stored summaries, then the top
-        // level against the on-chip root.
+        self.verify_tree_path(block)?;
+        Ok(data)
+    }
+
+    /// Verify `block`'s tree path against stored summaries, then the
+    /// top level against the on-chip root (the post-MAC half of
+    /// [`read`], shared with [`read_batch`]).
+    fn verify_tree_path(&self, block: u64) -> Result<(), IntegrityError> {
         for node in self.geo.walk(block) {
             let expect = self.compute_summary(node);
             let stored = self.summaries.get(&node).copied().unwrap_or(0);
@@ -245,7 +269,43 @@ impl VerifiedMemory {
                 index: 0,
             });
         }
-        Ok(data)
+        Ok(())
+    }
+
+    /// Read and verify a drained burst of four blocks, checking all
+    /// four MACs in one 4-lane [`mac_block_x4`] pass before the tree
+    /// walks — the functional counterpart of the engine's request-queue
+    /// batcher. Results are per-block and identical to four [`read`]
+    /// calls.
+    ///
+    /// # Panics
+    /// Panics if any block is out of range.
+    pub fn read_batch(&self, blocks: [u64; 4]) -> [Result<[u8; 64], IntegrityError>; 4] {
+        for &b in &blocks {
+            assert!(b < self.geo.data_blocks(), "block out of range");
+        }
+        let data: [[u8; 64]; 4] =
+            std::array::from_fn(|l| self.data.get(&blocks[l]).copied().unwrap_or([0; 64]));
+        let counters: [u64; 4] =
+            std::array::from_fn(|l| self.counters.get(&blocks[l]).copied().unwrap_or(0));
+        let stored: [u64; 4] = std::array::from_fn(|l| {
+            self.macs
+                .get(&blocks[l])
+                .copied()
+                .unwrap_or_else(|| mac_block(&self.key, &[0; 64], 0, Self::addr_of(blocks[l])))
+        });
+        let got = mac_block_x4(
+            &[self.key; 4],
+            [&data[0], &data[1], &data[2], &data[3]],
+            counters,
+            std::array::from_fn(|l| Self::addr_of(blocks[l])),
+        );
+        std::array::from_fn(|l| {
+            if got[l] != stored[l] {
+                return Err(IntegrityError::MacMismatch { block: blocks[l] });
+            }
+            self.verify_tree_path(blocks[l]).map(|()| data[l])
+        })
     }
 
     /// Does this node's subtree contain any nonzero counter?
@@ -411,6 +471,37 @@ mod tests {
         m.corrupt_data(0, 0, 1);
         assert!(m.read(0).is_err());
         assert_eq!(m.read(60_000).unwrap(), [2; 64]);
+    }
+
+    /// The 4-lane batched read returns exactly what four scalar reads
+    /// return — data, errors, and error precedence included.
+    #[test]
+    fn read_batch_matches_scalar_reads() {
+        let mut m = vm();
+        m.write(3, [0x11; 64]);
+        m.write(4096, [0x22; 64]);
+        m.write(9000, [0x33; 64]);
+        // Clean burst.
+        let blocks = [3u64, 4096, 9000, 77];
+        let batch = m.read_batch(blocks);
+        for l in 0..4 {
+            assert_eq!(batch[l], m.read(blocks[l]), "clean lane {l}");
+        }
+        // One lane tampered (MAC), one rolled back (tree): lane results
+        // must still match the scalar reads lane for lane.
+        let old = m.snapshot(9000);
+        m.write(9000, [0x44; 64]);
+        m.rollback(&old);
+        m.corrupt_data(3, 5, 0x80);
+        let batch = m.read_batch(blocks);
+        for l in 0..4 {
+            assert_eq!(batch[l], m.read(blocks[l]), "faulted lane {l}");
+        }
+        assert!(matches!(
+            batch[0],
+            Err(IntegrityError::MacMismatch { block: 3 })
+        ));
+        assert!(batch[1].is_ok());
     }
 
     #[test]

@@ -13,13 +13,16 @@
 //! test). Two mechanisms make it fast without changing behavior:
 //!
 //! * **Per-bank indexed queues** ([`RequestQueue`]): requests live in a
-//!   reusable slab and are indexed both globally (age order, by a
-//!   monotonically increasing sequence number) and per bank
-//!   (oldest-first). Pass 1 of FR-FCFS only inspects banks that have
-//!   pending requests, and the quadratic "does an older request still
-//!   want this open row" check of pass 2 becomes a single age-order walk
-//!   with per-bank marks. Removal is an ordered slab free, not a `Vec`
-//!   shift.
+//!   reusable slab, stamped with a monotonically increasing sequence
+//!   number (global age) and indexed per bank (oldest-first). One sweep
+//!   over the banks that have pending requests decides everything: the
+//!   bank's oldest row-matching request is its CAS candidate, its
+//!   oldest request owns the PRE/ACT decision, and ties across banks
+//!   resolve by sequence number — reproducing the reference
+//!   scheduler's full age-order scan (including its quadratic "does an
+//!   older request still want this open row" rescan) at
+//!   O(pending banks) per cycle. Removal is an ordered slab free, not
+//!   a `Vec` shift.
 //! * **Next-event skipping**: whenever a tick issues nothing, the
 //!   channel computes a lower bound on the next cycle at which *any*
 //!   command could issue (earliest CAS/PRE/ACT per pending request, the
@@ -43,31 +46,32 @@ struct DataBus {
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     req: Request,
-    /// Queue-local age stamp; strictly increases across pushes, so a
-    /// `(slot, seq)` pair uniquely names one request even after the slot
-    /// is recycled.
-    seq: u64,
     live: bool,
+}
+
+/// One per-bank index entry: everything the scheduler sweep reads,
+/// packed contiguously so a bank decision touches one cache line
+/// instead of gathering from the slab.
+#[derive(Debug, Clone, Copy)]
+struct BankEntry {
+    slot: u32,
+    row: u32,
+    seq: u64,
 }
 
 /// Age-ordered request storage with per-bank index lists.
 ///
-/// Requests sit in a slab (`slots` + `free`); `order` holds
-/// `(slot, seq)` pairs in arrival order with lazy tombstones (an entry
-/// is stale once its slot is freed or recycled, detected by the `seq`
-/// mismatch), and `by_bank` keeps an oldest-first slot list per bank so
-/// the scheduler can find row-hit candidates without scanning the whole
-/// queue. `active` lists the banks with pending requests so sparse
-/// queues don't pay for the full bank count.
+/// Requests sit in a slab (`slots` + `free`), stamped with a strictly
+/// increasing sequence number (global age); `by_bank` keeps an
+/// oldest-first [`BankEntry`] list per bank carrying the row and age
+/// inline, so the scheduler sweep never touches the slab until it
+/// actually issues. `active` lists the banks with pending requests so
+/// sparse queues don't pay for the full bank count.
 #[derive(Debug)]
 struct RequestQueue {
     slots: Vec<Slot>,
     free: Vec<u32>,
-    order: Vec<(u32, u64)>,
-    /// Stale entries currently in `order`; compacted when it outgrows
-    /// the live population.
-    stale: usize,
-    by_bank: Vec<Vec<u32>>,
+    by_bank: Vec<Vec<BankEntry>>,
     active: Vec<u32>,
     /// Position of each bank in `active`, `u32::MAX` when absent.
     active_pos: Vec<u32>,
@@ -81,8 +85,6 @@ impl RequestQueue {
         RequestQueue {
             slots: Vec::with_capacity(cap),
             free: Vec::new(),
-            order: Vec::with_capacity(cap),
-            stale: 0,
             by_bank: vec![Vec::new(); nbanks],
             active: Vec::new(),
             active_pos: vec![u32::MAX; nbanks],
@@ -112,11 +114,7 @@ impl RequestQueue {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = Slot {
-            req,
-            seq,
-            live: true,
-        };
+        let entry = Slot { req, live: true };
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slots[s as usize] = entry;
@@ -127,19 +125,22 @@ impl RequestQueue {
                 (self.slots.len() - 1) as u32
             }
         };
-        self.order.push((slot, seq));
         let b = req.bank_index as usize;
         if self.by_bank[b].is_empty() {
             self.active_pos[b] = self.active.len() as u32;
             self.active.push(b as u32);
         }
-        self.by_bank[b].push(slot);
+        self.by_bank[b].push(BankEntry {
+            slot,
+            row: req.coords.row,
+            seq,
+        });
         self.len += 1;
         true
     }
 
-    /// Ordered removal: frees the slab slot, unlinks the bank list entry,
-    /// and leaves a tombstone in `order` for lazy compaction.
+    /// Ordered removal: frees the slab slot and unlinks the bank list
+    /// entry (order-preserving, so bank lists stay oldest-first).
     fn remove(&mut self, slot: u32) {
         let s = &mut self.slots[slot as usize];
         debug_assert!(s.live);
@@ -148,7 +149,7 @@ impl RequestQueue {
         let list = &mut self.by_bank[b];
         let pos = list
             .iter()
-            .position(|&x| x == slot)
+            .position(|e| e.slot == slot)
             .expect("slot present in its bank list");
         list.remove(pos);
         if list.is_empty() {
@@ -161,50 +162,24 @@ impl RequestQueue {
         }
         self.free.push(slot);
         self.len -= 1;
-        self.stale += 1;
-        if self.stale > self.len + 8 {
-            let slots = &self.slots;
-            self.order
-                .retain(|&(s, q)| slots[s as usize].live && slots[s as usize].seq == q);
-            self.stale = 0;
-        }
-    }
-
-    fn order_len(&self) -> usize {
-        self.order.len()
-    }
-
-    fn order_at(&self, i: usize) -> (u32, u64) {
-        self.order[i]
-    }
-
-    fn is_live(&self, slot: u32, seq: u64) -> bool {
-        let s = &self.slots[slot as usize];
-        s.live && s.seq == seq
     }
 
     fn req(&self, slot: u32) -> &Request {
         &self.slots[slot as usize].req
     }
 
+    /// The bank's pending entries, oldest first (push appends, remove is
+    /// order-preserving). Never empty for a bank listed in `active`.
+    fn bank_list(&self, bank: usize) -> &[BankEntry] {
+        &self.by_bank[bank]
+    }
+
     fn req_mut(&mut self, slot: u32) -> &mut Request {
         &mut self.slots[slot as usize].req
     }
 
-    fn seq(&self, slot: u32) -> u64 {
-        self.slots[slot as usize].seq
-    }
-
     fn active_banks(&self) -> &[u32] {
         &self.active
-    }
-
-    /// Oldest pending request in `bank` targeting `row`, if any.
-    fn oldest_with_row(&self, bank: usize, row: u32) -> Option<u32> {
-        self.by_bank[bank]
-            .iter()
-            .copied()
-            .find(|&s| self.slots[s as usize].req.coords.row == row)
     }
 }
 
@@ -224,10 +199,13 @@ pub struct Channel {
     /// Lower bound on the next cycle at which any command can issue;
     /// `tick` is a no-op before it. Reset on enqueue and fast-forward.
     next_wake: u64,
-    /// Per-bank generation stamps backing the "an older request wants
-    /// this open row" marks; bumping `mark_gen` clears all marks in O(1).
-    mark_gen: u64,
-    marks: Vec<u64>,
+    /// Per-rank CAS-gate cache for `schedule` (rank command spacing +
+    /// refresh block + bus turnaround, uniform per rank), computed
+    /// lazily per sweep; bumping `gate_gen` invalidates all entries in
+    /// O(1).
+    gate_gen: u64,
+    rank_gate: Vec<u64>,
+    gate_stamp: Vec<u64>,
 }
 
 impl Channel {
@@ -249,8 +227,9 @@ impl Channel {
             completions: Vec::new(),
             cmd_log: None,
             next_wake: 0,
-            mark_gen: 0,
-            marks: vec![0; nbanks],
+            gate_gen: 0,
+            rank_gate: vec![0; g.ranks_per_channel as usize],
+            gate_stamp: vec![0; g.ranks_per_channel as usize],
         }
     }
 
@@ -321,9 +300,25 @@ impl Channel {
         self.read_q.is_empty() && self.write_q.is_empty()
     }
 
+    /// The next DRAM cycle at which [`Self::tick`] does any work: the
+    /// precomputed wake time covering command issue, watermark flips,
+    /// and refresh deadlines. Ticks strictly before it are no-ops by
+    /// construction (the early return above), so a caller that knows no
+    /// new requests will arrive may skip straight to it. Any `enqueue`
+    /// resets it to 0.
+    pub fn next_event(&self) -> u64 {
+        self.next_wake
+    }
+
     /// Drain accumulated completions.
     pub fn take_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Append accumulated completions to `out`, keeping this channel's
+    /// buffer (and its capacity) in place.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completions);
     }
 
     pub fn stats(&self) -> &ChannelStats {
@@ -430,106 +425,149 @@ impl Channel {
     /// Returns `None` if a command issued, or `Some(wake)` — the earliest
     /// cycle at which any of the queue's pending requests could make
     /// progress (`u64::MAX` if none are schedulable) — computed for free
-    /// during the same two passes. The bound is exact for the frozen
-    /// state between events, so skipping to it never changes behavior.
+    /// during the same sweep. The bound is exact for the frozen state
+    /// between events, so skipping to it never changes behavior.
+    ///
+    /// The sweep visits each bank with pending requests exactly once,
+    /// because every scheduling decision is bank-local given two facts:
+    ///
+    /// * a CAS candidate is the bank's *oldest row-matching* request
+    ///   (CAS legality is uniform across a bank), and
+    /// * the PRE/ACT decision belongs to the bank's *oldest* request —
+    ///   a younger conflict may never close a row an older request still
+    ///   wants, and `act_at` is identical for every request of a closed
+    ///   bank.
+    ///
+    /// Ties across banks resolve by global age (sequence number), which
+    /// reproduces the reference scheduler's age-order scan without
+    /// walking the whole queue. Rank-level CAS gates (rank command
+    /// spacing, refresh block, bus turnaround) are computed lazily once
+    /// per rank per sweep.
     fn schedule(&mut self, now: u64, writes: bool) -> Option<u64> {
         let mut wake = u64::MAX;
         let t = self.cfg.timing;
+        let banks_per_rank = self.cfg.geometry.banks_per_rank as usize;
+        let lat = if writes { t.t_cwd } else { t.t_cas };
 
-        // Pass 1: oldest request whose row is open and whose CAS can
-        // issue. Only banks with pending requests are inspected; within a
-        // bank the oldest row-matching request stands in for all of them,
-        // because CAS legality depends only on the bank, rank, and
-        // direction — uniform across one bank of one queue.
-        let mut best: Option<(u64, u32)> = None;
-        let q = self.queue(writes);
+        self.gate_gen += 1;
+        let gen = self.gate_gen;
+        let q = if writes { &self.write_q } else { &self.read_q };
+        let banks = &self.banks;
+        let ranks = &self.ranks;
+        let bus = self.bus;
+        let gates = &mut self.rank_gate;
+        let stamps = &mut self.gate_stamp;
+
+        // Best issuable CAS / row command, by global age.
+        let mut cas_best: Option<(u64, u32)> = None; // (seq, slot)
+        let mut open_best: Option<(u64, u32, u32)> = None; // (seq, bank, head slot)
+
         for &b in q.active_banks() {
             let bi = b as usize;
-            let Some(open) = self.banks[bi].open_row else {
-                continue;
-            };
-            let Some(slot) = q.oldest_with_row(bi, open) else {
-                continue;
-            };
-            let req = q.req(slot);
-            let cas_at = earliest_cas(
-                &t,
-                &self.banks[bi],
-                &self.ranks[req.coords.rank as usize],
-                &self.bus,
-                req,
-            );
-            if cas_at <= now {
-                let seq = q.seq(slot);
-                if best.is_none_or(|(bs, _)| seq < bs) {
-                    best = Some((seq, slot));
+            let list = q.bank_list(bi);
+            let head = list[0];
+            let bank = &banks[bi];
+            match bank.open_row {
+                Some(open) => {
+                    // CAS candidate: the bank's oldest row-matching request.
+                    if let Some(e) = list.iter().find(|e| e.row == open) {
+                        if stamps[bi / banks_per_rank] != gen {
+                            let r = bi / banks_per_rank;
+                            let rank = &ranks[r];
+                            let cmd = if writes {
+                                rank.next_write
+                            } else {
+                                rank.next_read
+                            };
+                            let mut bus_ready = bus.free_at.saturating_sub(lat);
+                            if let Some(last) = bus.last_rank {
+                                if last as usize != r {
+                                    bus_ready =
+                                        bus_ready.max((bus.free_at + t.t_rtrs).saturating_sub(lat));
+                                }
+                            }
+                            gates[r] = rank.ready_at.max(cmd).max(bus_ready);
+                            stamps[r] = gen;
+                        }
+                        let bank_cmd = if writes {
+                            bank.next_write
+                        } else {
+                            bank.next_read
+                        };
+                        let cas_at = bank_cmd.max(gates[bi / banks_per_rank]);
+                        debug_assert_eq!(
+                            cas_at,
+                            earliest_cas(
+                                &t,
+                                bank,
+                                &ranks[q.req(e.slot).coords.rank as usize],
+                                &bus,
+                                q.req(e.slot),
+                            ),
+                            "lazy rank gate must reproduce earliest_cas"
+                        );
+                        if cas_at <= now {
+                            if cas_best.is_none_or(|(bs, _)| e.seq < bs) {
+                                cas_best = Some((e.seq, e.slot));
+                            }
+                        } else {
+                            wake = wake.min(cas_at);
+                        }
+                    }
+                    // PRE decision: only the bank's oldest request may
+                    // close the row, and only if it conflicts (an older
+                    // row hit must drain first).
+                    if head.row != open {
+                        if now >= bank.next_precharge {
+                            if open_best.is_none_or(|(bs, _, _)| head.seq < bs) {
+                                open_best = Some((head.seq, b, head.slot));
+                            }
+                        } else {
+                            wake = wake.min(bank.next_precharge);
+                        }
+                    }
                 }
-            } else {
-                wake = wake.min(cas_at);
+                None => {
+                    let act_at = bank
+                        .next_activate
+                        .max(ranks[bi / banks_per_rank].activate_allowed_at(&t));
+                    if act_at <= now {
+                        if open_best.is_none_or(|(bs, _, _)| head.seq < bs) {
+                            open_best = Some((head.seq, b, head.slot));
+                        }
+                    } else {
+                        wake = wake.min(act_at);
+                    }
+                }
             }
         }
-        if let Some((_, slot)) = best {
+
+        if let Some((_, slot)) = cas_best {
             let req = *self.queue(writes).req(slot);
             self.issue_cas(&req, now, !req.caused_row_miss);
             self.queue_mut(writes).remove(slot);
             return None;
         }
-
-        // Pass 2: for requests in age order, open the needed row. At most
-        // one command per cycle. A bank is marked once an older request
-        // targeting its open row has been seen, which replaces the
-        // reference scheduler's quadratic rescan per conflict; marked
-        // banks contribute no wake candidate because the older request's
-        // CAS (a pass-1 candidate) must happen before any precharge.
-        self.mark_gen += 1;
-        let gen = self.mark_gen;
-        for i in 0..self.queue(writes).order_len() {
-            let (slot, seq) = self.queue(writes).order_at(i);
-            if !self.queue(writes).is_live(slot, seq) {
-                continue;
-            }
-            let req = *self.queue(writes).req(slot);
-            let bi = req.bank_index as usize;
+        if let Some((_, b, head)) = open_best {
+            let bi = b as usize;
+            let req = *self.queue(writes).req(head);
             match self.banks[bi].open_row {
-                Some(open) if open == req.coords.row => {
-                    self.marks[bi] = gen;
-                }
                 Some(open) => {
-                    // Conflict: precharge, but only if no older request
-                    // still wants the open row (preserve row hits).
-                    if self.marks[bi] != gen {
-                        if now >= self.banks[bi].next_precharge {
-                            self.banks[bi].precharge(now, &t);
-                            self.stats.precharges += 1;
-                            self.queue_mut(writes).req_mut(slot).caused_row_miss = true;
-                            self.log_cmd(now, Command::Precharge, req.coords.rank, bi as u32, open);
-                            return None;
-                        }
-                        wake = wake.min(self.banks[bi].next_precharge);
-                    }
+                    self.banks[bi].precharge(now, &t);
+                    self.stats.precharges += 1;
+                    self.queue_mut(writes).req_mut(head).caused_row_miss = true;
+                    self.log_cmd(now, Command::Precharge, req.coords.rank, b, open);
                 }
                 None => {
-                    let act_at = self.banks[bi]
-                        .next_activate
-                        .max(self.ranks[req.coords.rank as usize].activate_allowed_at(&t));
-                    if act_at <= now {
-                        let rank = req.coords.rank as usize;
-                        self.banks[bi].activate(req.coords.row, now, &t);
-                        self.ranks[rank].activate(now, &t);
-                        self.stats.activates += 1;
-                        self.queue_mut(writes).req_mut(slot).caused_row_miss = true;
-                        self.log_cmd(
-                            now,
-                            Command::Activate,
-                            req.coords.rank,
-                            bi as u32,
-                            req.coords.row,
-                        );
-                        return None;
-                    }
-                    wake = wake.min(act_at);
+                    let rank = req.coords.rank as usize;
+                    self.banks[bi].activate(req.coords.row, now, &t);
+                    self.ranks[rank].activate(now, &t);
+                    self.stats.activates += 1;
+                    self.queue_mut(writes).req_mut(head).caused_row_miss = true;
+                    self.log_cmd(now, Command::Activate, req.coords.rank, b, req.coords.row);
                 }
             }
+            return None;
         }
         Some(wake)
     }

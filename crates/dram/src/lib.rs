@@ -156,9 +156,34 @@ impl MemorySystem {
         self.in_flight == 0
     }
 
+    /// Earliest [`Channel::next_event`] across channels: the next DRAM
+    /// cycle at which ticking the system can change any state —
+    /// completions, queue space, refreshes, watermark flips. Ticks
+    /// strictly before it are no-ops as long as nothing is enqueued in
+    /// between (an enqueue resets the owning channel's wake to 0).
+    pub fn next_event(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(Channel::next_event)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
     /// Number of requests accepted but not yet completed.
     pub fn in_flight(&self) -> u64 {
         self.in_flight
+    }
+
+    /// Drain completions from all channels into `out` (appending),
+    /// preserving each channel's buffer capacity — the zero-allocation
+    /// variant of [`take_completions`](Self::take_completions) for the
+    /// simulator's per-tick loop.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        let before = out.len();
+        for ch in &mut self.channels {
+            ch.drain_completions_into(out);
+        }
+        self.in_flight -= (out.len() - before) as u64;
     }
 
     /// Collect completions from all channels since the last call.

@@ -1,0 +1,143 @@
+//! Lockstep equivalence oracle for the optimized security-engine hot
+//! path.
+//!
+//! The [`SecurityEngine`] carries three hot-path optimizations — the
+//! per-partition ancestor memo, the shared-allocation burst API, and
+//! the batched MAC/parity kernels below it — while
+//! [`ReferenceEngine`] is a verbatim scalar twin of the original
+//! access path with none of them. This oracle drives both with
+//! identical randomized access streams over *every* scheme and asserts
+//! access-by-access identical outcomes (traffic list, stall cycles,
+//! Figure 3 case) plus identical final statistics. Any divergence is a
+//! bug in the optimized path by construction.
+//!
+//! Streams are generated with deliberate same-leaf runs so the memo
+//! fast path actually fires (a uniform stream would almost never
+//! produce two consecutive clean hits on one leaf).
+
+use itesp_core::{AccessRequest, EngineConfig, ReferenceEngine, Scheme, SecurityEngine};
+use itesp_oracle::with_seeds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ACCESSES: usize = 2_500;
+/// Hot leaves per enclave: small enough that same-leaf runs revisit
+/// warm paths, large enough to force real capacity misses.
+const HOT_LEAVES: u64 = 48;
+const BLOCKS_PER_LEAF: u64 = 64;
+
+/// One randomized access with locality: bursts of 1..=6 touches inside
+/// a single hot leaf, mixed reads/writes, occasional cold excursions.
+fn gen_stream(rng: &mut StdRng, enclaves: usize) -> Vec<AccessRequest> {
+    let mut out = Vec::with_capacity(ACCESSES);
+    while out.len() < ACCESSES {
+        let enclave = rng.gen_range(0..enclaves);
+        let leaf = if rng.gen_bool(0.9) {
+            rng.gen_range(0..HOT_LEAVES)
+        } else {
+            rng.gen_range(0..HOT_LEAVES * 64)
+        };
+        for _ in 0..rng.gen_range(1..=6u32) {
+            let block = leaf * BLOCKS_PER_LEAF + rng.gen_range(0..BLOCKS_PER_LEAF);
+            out.push(AccessRequest {
+                enclave,
+                paddr: block * 64,
+                enclave_block: block,
+                is_write: rng.gen_bool(0.4),
+            });
+        }
+    }
+    out.truncate(ACCESSES);
+    out
+}
+
+/// Optimized engine (memo on) vs the scalar reference twin, access by
+/// access, over every scheme in the paper.
+#[test]
+fn optimized_engine_matches_scalar_reference() {
+    with_seeds("optimized_engine_matches_scalar_reference", 3, |seed| {
+        for scheme in Scheme::ALL {
+            let cfg = EngineConfig::paper_default(scheme);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let stream = gen_stream(&mut rng, cfg.enclaves);
+            let mut opt = SecurityEngine::new(cfg);
+            let mut refr = ReferenceEngine::new(cfg);
+            for (i, r) in stream.iter().enumerate() {
+                let a = opt.on_access(r.enclave, r.paddr, r.enclave_block, r.is_write);
+                let b = refr.on_access(r.enclave, r.paddr, r.enclave_block, r.is_write);
+                assert_eq!(
+                    a, b,
+                    "outcome diverged at access {i} ({r:?}, scheme {scheme:?}, seed {seed})"
+                );
+            }
+            assert_eq!(
+                opt.stats(),
+                refr.stats(),
+                "stats diverged (scheme {scheme:?}, seed {seed})"
+            );
+        }
+    });
+}
+
+/// The burst API must be a pure repackaging of sequential `on_access`:
+/// same transactions in the same order, same per-request slices,
+/// stalls, cases, and stats.
+#[test]
+fn batched_access_matches_sequential() {
+    with_seeds("batched_access_matches_sequential", 3, |seed| {
+        for scheme in Scheme::ALL {
+            let cfg = EngineConfig::paper_default(scheme);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xB0B5);
+            let stream = gen_stream(&mut rng, cfg.enclaves);
+            let mut seq = SecurityEngine::new(cfg);
+            let mut bat = SecurityEngine::new(cfg);
+            for (c, chunk) in stream.chunks(4).enumerate() {
+                let out = bat.on_access_batch(chunk);
+                assert_eq!(out.requests.len(), chunk.len());
+                for (l, (r, ro)) in chunk.iter().zip(&out.requests).enumerate() {
+                    let a = seq.on_access(r.enclave, r.paddr, r.enclave_block, r.is_write);
+                    let slice = &out.mem[ro.mem_start..ro.mem_start + ro.mem_len];
+                    assert_eq!(
+                        a.mem, slice,
+                        "burst {c} lane {l} traffic diverged (scheme {scheme:?}, seed {seed})"
+                    );
+                    assert_eq!(a.stall_cycles, ro.stall_cycles);
+                    assert_eq!(a.case, ro.case);
+                }
+            }
+            assert_eq!(
+                seq.stats(),
+                bat.stats(),
+                "stats diverged (scheme {scheme:?})"
+            );
+        }
+    });
+}
+
+/// Toggling the memo off mid-run only drops cached paths — it must
+/// never change what traffic subsequent accesses produce relative to a
+/// never-memoized engine.
+#[test]
+fn memo_toggle_preserves_equivalence() {
+    with_seeds("memo_toggle_preserves_equivalence", 2, |seed| {
+        for scheme in [Scheme::Itesp, Scheme::Vault, Scheme::ItSynergySharedParity] {
+            let cfg = EngineConfig::paper_default(scheme);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x7066);
+            let stream = gen_stream(&mut rng, cfg.enclaves);
+            let mut toggled = SecurityEngine::new(cfg);
+            let mut plain = SecurityEngine::new(cfg);
+            plain.set_tree_memo(false);
+            for (i, r) in stream.iter().enumerate() {
+                if i % 500 == 250 {
+                    toggled.set_tree_memo(false);
+                } else if i % 500 == 0 {
+                    toggled.set_tree_memo(true);
+                }
+                let a = toggled.on_access(r.enclave, r.paddr, r.enclave_block, r.is_write);
+                let b = plain.on_access(r.enclave, r.paddr, r.enclave_block, r.is_write);
+                assert_eq!(a, b, "toggle diverged at access {i} (scheme {scheme:?})");
+            }
+            assert_eq!(toggled.stats(), plain.stats());
+        }
+    });
+}

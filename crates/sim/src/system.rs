@@ -13,7 +13,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use itesp_core::{EngineConfig, MetaAccess, SecurityEngine, TreeKind};
-use itesp_dram::{DramConfig, IssuedCommand, MemorySystem, RequestId};
+use itesp_dram::{Completion, DramConfig, IssuedCommand, MemorySystem, RequestId};
 use itesp_trace::{ChurnWorkload, MemOp, MultiProgram, PhysRecord, PAGE_BYTES};
 
 use crate::churn::{ChurnDriver, ChurnStats};
@@ -173,6 +173,17 @@ pub struct System {
     churn: Option<ChurnDriver>,
     isolated: bool,
     cycle: u64,
+    /// Cores proven stalled until a memory completion (or finished for
+    /// good): their per-cycle retire/fetch calls are provable no-ops and
+    /// are skipped. Only maintained for static workloads without a RAS
+    /// pipeline — lifecycle hooks can unblock a core from outside the
+    /// memory path, so parking is disabled when either is active.
+    parked: Vec<bool>,
+    /// Number of `true` entries in `parked` (all-parked cycles take an
+    /// even shorter event-skip path).
+    nparked: usize,
+    /// Reusable completion-drain buffer for the run loop.
+    comp_buf: Vec<Completion>,
 }
 
 impl System {
@@ -185,6 +196,7 @@ impl System {
         let mem = MemorySystem::new(cfg.dram);
         let engine = SecurityEngine::new(cfg.engine);
         let cores: Vec<Core> = traces.into_iter().map(Core::new).collect();
+        let ncores = cores.len();
         let isolated = engine.spec().isolated;
         let ras = cfg.ras.clone().map(|rc| {
             RasEngine::new(
@@ -208,6 +220,9 @@ impl System {
             churn: None,
             isolated,
             cycle: 0,
+            parked: vec![false; ncores],
+            nparked: 0,
+            comp_buf: Vec::new(),
         }
     }
 
@@ -330,6 +345,7 @@ impl System {
         } else {
             self.cfg.max_cycles
         };
+        let parking = self.ras.is_none() && self.churn.is_none();
 
         while !self.all_done() {
             assert!(self.cycle < limit, "simulation exceeded max_cycles");
@@ -343,8 +359,14 @@ impl System {
                 self.ras_tick(dram_now);
                 self.drain_pending_meta(dram_now);
                 self.mem.tick(dram_now);
-                for c in self.mem.take_completions() {
+                let mut buf = std::mem::take(&mut self.comp_buf);
+                buf.clear();
+                self.mem.drain_completions_into(&mut buf);
+                for c in &buf {
                     if let Some(tag) = self.tags.remove(&c.id) {
+                        if std::mem::replace(&mut self.parked[tag.core], false) {
+                            self.nparked -= 1;
+                        }
                         if let Some(p) = self.cores[tag.core]
                             .reads
                             .iter_mut()
@@ -354,17 +376,54 @@ impl System {
                         }
                     }
                 }
+                self.comp_buf = buf;
             }
 
             self.churn_tick();
 
             for core_idx in 0..ncores {
+                if self.parked[core_idx] {
+                    continue;
+                }
                 self.retire(core_idx);
                 self.fetch(core_idx);
+                if parking {
+                    self.maybe_park(core_idx);
+                }
             }
 
             self.try_fast_forward();
+            if parking {
+                self.try_bulk_advance();
+            }
+            self.try_event_skip();
             self.cycle += 1;
+        }
+    }
+
+    /// Park a core whose retire/fetch are provably no-ops until a read
+    /// completion arrives. Two cases:
+    ///
+    /// * the core is [`done`](Core::done) — with no churn driver there
+    ///   is nothing left to do, ever;
+    /// * the ROB head is an outstanding read (blocks retirement) and
+    ///   fetch cannot add work either (ROB full, or the trace is
+    ///   drained). The head read's completion is then the only event
+    ///   that can change this core's state, and its delivery unparks.
+    ///
+    /// Skipping the calls is pure: it elides work that would not have
+    /// mutated anything, so cycle-level behavior is bit-identical.
+    fn maybe_park(&mut self, ci: usize) {
+        let core = &self.cores[ci];
+        let park = core.done()
+            || (core.blocked_write.is_none()
+                && (core.trace_done() || core.rob_occupancy() >= self.cfg.rob_size)
+                && core
+                    .reads
+                    .front()
+                    .is_some_and(|f| f.rob_pos == core.retired && !f.done));
+        if park && !std::mem::replace(&mut self.parked[ci], true) {
+            self.nparked += 1;
         }
     }
 
@@ -548,9 +607,9 @@ impl System {
     }
 
     fn all_done(&self) -> bool {
-        self.cores.iter().all(Core::done)
-            && self.mem.is_idle()
+        self.mem.is_idle()
             && self.pending_meta.is_empty()
+            && self.cores.iter().all(Core::done)
             && self.churn.as_ref().is_none_or(ChurnDriver::done)
     }
 
@@ -720,6 +779,138 @@ impl System {
         }
     }
 
+    /// Closed-form multi-cycle advance for *linear* core phases: every
+    /// core is either frozen (parked, done) or provably repeats the
+    /// exact same full-width step — fetching gap instructions and/or
+    /// retiring plain instructions — for the next `j` cycles. Those
+    /// cycles are applied arithmetically in one shot.
+    ///
+    /// Exactness argument, per linear case (retire runs before fetch
+    /// each cycle, both at `width` per cycle):
+    ///
+    /// * gap flow (no reads, occupancy >= width, gap >= width): retire
+    ///   takes `width`, fetch refills `width`; occupancy is invariant,
+    ///   so every cycle is identical while the gap lasts;
+    /// * approach (oldest read still behind the ROB head): plain
+    ///   instructions retire at `width` until `retired` reaches the
+    ///   read's slot — the window stops exactly there;
+    /// * fill (undone read at the ROB head): retirement is frozen;
+    ///   fetch adds `width` gap instructions until the ROB fills;
+    /// * drain (trace done, no reads): retire `width` per cycle,
+    ///   stopping one instruction short of empty so the `finish`
+    ///   stamp is taken by the normal per-cycle path.
+    ///
+    /// The window is clipped below the next memory event, so no
+    /// completion, queue-space change, or refresh can land inside it,
+    /// and nothing is enqueued during it (only gap instructions are
+    /// fetched) — DRAM ticks inside the window are no-ops by the
+    /// channel contract. Anything nonlinear (a memory op due, a stall
+    /// deadline, a blocked write, a record advance, a completed head
+    /// read) zeroes the window and falls back to per-cycle stepping.
+    /// Only active for static workloads without RAS, like parking.
+    fn try_bulk_advance(&mut self) {
+        // Only while memory has work: an idle-memory jump could pass
+        // the cycle where the run-loop would have observed `all_done`
+        // (fast-forward owns the idle regime), and a busy memory also
+        // pins the window below a real future event.
+        if !self.pending_meta.is_empty() || self.mem.is_idle() {
+            return;
+        }
+        let now = self.cycle;
+        let w = self.cfg.width;
+        // Cycles strictly inside the window must precede the next
+        // memory event (completions / queue space / refresh).
+        let cur_dram = now / CPU_PER_DRAM_CYCLE;
+        let ev = self.mem.next_event();
+        let ev_cpu = ev.max(cur_dram + 1).saturating_mul(CPU_PER_DRAM_CYCLE);
+        let mut j = (ev_cpu - now).saturating_sub(1);
+        for (ci, c) in self.cores.iter().enumerate() {
+            if j == 0 {
+                return;
+            }
+            if self.parked[ci] || c.done() {
+                continue; // frozen until a completion (bounded by ev_cpu)
+            }
+            if c.blocked_write.is_some() || c.stall_until > now || c.op_issued {
+                return; // nonlinear now: step per-cycle
+            }
+            let o = c.fetched - c.retired;
+            let jc = match c.reads.front() {
+                None => {
+                    if c.trace_done() {
+                        // Pure drain; stop short of the finish edge.
+                        if o > w {
+                            (o - 1) / w
+                        } else {
+                            0
+                        }
+                    } else if c.gap_left >= w && o >= w {
+                        c.gap_left / w
+                    } else {
+                        0
+                    }
+                }
+                Some(f) if f.done => 0,
+                Some(f) if f.rob_pos > c.retired => {
+                    let to_block = (f.rob_pos - c.retired) / w;
+                    if c.trace_done() {
+                        to_block
+                    } else if c.gap_left >= w {
+                        to_block.min(c.gap_left / w)
+                    } else {
+                        0
+                    }
+                }
+                Some(_) => {
+                    // Undone head read: retirement frozen.
+                    let space = self.cfg.rob_size - o;
+                    if c.trace_done() || space == 0 {
+                        u64::MAX // fully frozen until its completion
+                    } else if c.gap_left >= w && space >= w {
+                        (space / w).min(c.gap_left / w)
+                    } else {
+                        0
+                    }
+                }
+            };
+            j = j.min(jc);
+        }
+        if j == 0 {
+            return;
+        }
+        for (ci, c) in self.cores.iter_mut().enumerate() {
+            if self.parked[ci] || c.done() {
+                continue;
+            }
+            let insts = j * w;
+            match c.reads.front() {
+                None => {
+                    if c.trace_done() {
+                        c.retired += insts;
+                    } else {
+                        c.fetched += insts;
+                        c.retired += insts;
+                        c.gap_left -= insts;
+                    }
+                }
+                Some(f) if f.rob_pos > c.retired => {
+                    c.retired += insts;
+                    if !c.trace_done() {
+                        c.fetched += insts;
+                        c.gap_left -= insts;
+                    }
+                }
+                Some(_) => {
+                    if !c.trace_done() && self.cfg.rob_size > c.fetched - c.retired {
+                        c.fetched += insts;
+                        c.gap_left -= insts;
+                    }
+                }
+            }
+        }
+        self.cycle = now + j;
+    }
+
     /// When nothing is in flight anywhere, jump time to the next event:
     /// pure gap-crunching proceeds at `width` instructions per cycle.
     fn try_fast_forward(&mut self) {
@@ -780,6 +971,152 @@ impl System {
             }
         }
         self.mem.fast_forward(self.cycle / CPU_PER_DRAM_CYCLE);
+    }
+
+    /// Event-driven idle skip: when every core is provably stalled on a
+    /// *timed* event — a DRAM wake-up (completion, queue space, refresh),
+    /// a `stall_until` deadline, a RAS arrival/patrol slot, or a churn
+    /// admission — jump the clock to the earliest such event instead of
+    /// ticking through cycles that are guaranteed no-ops.
+    ///
+    /// Complements [`try_fast_forward`](Self::try_fast_forward), which
+    /// only fires when nothing is in flight anywhere: this skip fires
+    /// *while* requests are in flight, bridging the dead CPU cycles
+    /// between DRAM events. Soundness rests on the channel contract
+    /// ([`MemorySystem::next_event`]): ticks strictly before the wake-up
+    /// are no-ops as long as nothing is enqueued in between, and we only
+    /// skip when no core, metadata drain, RAS hook, or churn event can
+    /// enqueue anything.
+    fn try_event_skip(&mut self) {
+        let cur_dram = self.cycle / CPU_PER_DRAM_CYCLE;
+        // Earliest CPU cycle at which a memory event can fire: the
+        // system's wake-up, clamped to the next DRAM tick boundary.
+        let dram_to_cpu = |ev: u64| match ev {
+            u64::MAX => u64::MAX,
+            e => e.max(cur_dram + 1).saturating_mul(CPU_PER_DRAM_CYCLE),
+        };
+        let mut target = dram_to_cpu(self.mem.next_event());
+
+        // Queued metadata the next DRAM tick could drain makes that
+        // tick a real event; a blocked head waits on queue space, which
+        // only frees at the memory wake-up already in `target`.
+        if let Some(&(addr, is_write)) = self.pending_meta.front() {
+            let ok = if is_write {
+                self.mem.can_accept_write(addr)
+            } else {
+                self.mem.can_accept_read(addr)
+            };
+            if ok {
+                return;
+            }
+        }
+
+        if let Some(ras) = &self.ras {
+            if !ras.pending_retires.is_empty() {
+                return; // retirements execute at the next DRAM tick
+            }
+            target = target.min(dram_to_cpu(ras.next_event(false)));
+        }
+
+        if let Some(ch) = &self.churn {
+            for s in 0..self.cores.len() {
+                if ch.live[s] {
+                    // A fireable page free or a drained session acts on
+                    // the very next `churn_tick`.
+                    if ch.frees[s]
+                        .front()
+                        .is_some_and(|f| f.after_record < self.cores[s].pos)
+                        || self.cores[s].done()
+                    {
+                        return;
+                    }
+                }
+            }
+            if let Some(ready) = ch.next_ready() {
+                if ready <= self.cycle {
+                    return; // an admission is due (or retrying) now
+                }
+                target = target.min(ready);
+            }
+        }
+
+        // Parked cores are provably frozen until a read completion, and
+        // completions only happen at memory work ticks — already bounded
+        // by `target`. (Their `stall_until` deadlines are unobservable
+        // while parked: fetch stays ROB- or trace-blocked regardless.)
+        if self.nparked == self.cores.len() {
+            let lim = if self.mem.is_idle() {
+                CPU_PER_DRAM_CYCLE
+            } else {
+                1
+            };
+            if target == u64::MAX || target <= self.cycle + lim {
+                return;
+            }
+            self.cycle = target - 1;
+            return;
+        }
+
+        for core in &self.cores {
+            // Retire side. A blocked write drains as soon as the queue
+            // has space; an undone head read waits on its completion.
+            if let Some(addr) = core.blocked_write {
+                if self.mem.can_accept_write(addr) {
+                    return;
+                }
+            } else if core.retired < core.fetched {
+                match core.reads.front() {
+                    Some(front) if front.rob_pos == core.retired => {
+                        if front.done {
+                            return; // head read retires now
+                        }
+                    }
+                    _ => return, // plain instructions retire every cycle
+                }
+            }
+            // Fetch side.
+            if core.stall_until > self.cycle {
+                target = target.min(core.stall_until);
+                continue;
+            }
+            if core.trace_done() || core.rob_occupancy() >= self.cfg.rob_size {
+                continue; // nothing to fetch / unblocks only via retire
+            }
+            if core.gap_left > 0 || core.op_issued {
+                return; // gap instructions or a record advance fetch now
+            }
+            // At a memory-op boundary. Churn translation has lifecycle
+            // side effects we must not reason past: stay conservative.
+            if self.churn.is_some() {
+                return;
+            }
+            let rec = core.trace[core.pos];
+            if rec.op == MemOp::Write {
+                return; // writes always fetch (possibly into blocked_write)
+            }
+            if self.mem.can_accept_read(self.frame_addr(rec.paddr)) {
+                return; // the read issues now
+            }
+            // Read blocked on queue space: waits on the memory wake-up.
+        }
+
+        // Sub-DRAM-tick skips (bridging the dead CPU cycles between
+        // consecutive DRAM ticks) are taken only while the memory
+        // system still has work: the loop cannot exit before the next
+        // memory event then, so the jump cannot overshoot the recorded
+        // end-of-run cycle. Once memory drains, fall back to whole-tick
+        // skips so the exit check runs at the same cycle it always did.
+        let lim = if self.mem.is_idle() {
+            CPU_PER_DRAM_CYCLE
+        } else {
+            1
+        };
+        if target == u64::MAX || target <= self.cycle + lim {
+            return; // nothing to gain (or a genuine deadlock: let the
+                    // max_cycles guard report it)
+        }
+        // Land exactly on the event cycle: the loop's `+= 1` follows.
+        self.cycle = target - 1;
     }
 
     fn finish_run(mut self) -> RunResult {
