@@ -22,8 +22,21 @@ use itesp_bench::{
 use serde::Serialize;
 
 const TARGETS: &[&str] = &[
-    "tab01", "tab02", "fig02", "fig03", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12",
-    "fig13", "fig15", "figras", "figchurn",
+    "tab01",
+    "tab02",
+    "fig02",
+    "fig03",
+    "fig05",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig15",
+    "figras",
+    "figchurn",
+    "figpareto",
 ];
 
 #[derive(Serialize)]
@@ -82,10 +95,72 @@ fn git_rev() -> String {
     }
 }
 
-/// Append this run's per-target seconds to the perf-trajectory log
+/// Split the text of a JSON array into its top-level element slices.
+/// The vendored serde_json parses but cannot re-serialize values, so
+/// editing the log means carrying each surviving entry's original text
+/// verbatim and splicing around it.
+fn split_array_elements(text: &str) -> Option<Vec<String>> {
+    let inner = text.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let mut elems = Vec::new();
+    let (mut depth, mut start) = (0i64, None::<usize>);
+    let (mut in_str, mut escaped) = (false, false);
+    for (i, c) in inner.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        if start.is_none() && !c.is_whitespace() && c != ',' {
+            start = Some(i);
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                if let Some(s) = start.take() {
+                    elems.push(inner[s..i].trim_end().to_owned());
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        elems.push(inner[s..].trim_end().to_owned());
+    }
+    Some(elems)
+}
+
+/// The dedupe key of one log entry: `(git rev, jobs, sorted target
+/// set)`. Entries that fail to expose the key are kept as-is.
+fn entry_key(text: &str) -> Option<(String, u64, Vec<String>)> {
+    let v = serde_json::from_str(text).ok()?;
+    let git = v.field("git_rev").ok()?.as_str().ok()?.to_owned();
+    let jobs = v.field("jobs").ok()?.as_u64().ok()?;
+    let mut targets: Vec<String> = v
+        .field("targets")
+        .ok()?
+        .items()
+        .ok()?
+        .iter()
+        .map(|t| Some(t.field("target").ok()?.as_str().ok()?.to_owned()))
+        .collect::<Option<_>>()?;
+    targets.sort_unstable();
+    Some((git, jobs, targets))
+}
+
+/// Record this run's per-target seconds in the perf-trajectory log
 /// (`BENCH_run_all.json`, or `ITESP_BENCH_LOG`). The log is a JSON
 /// array of [`BenchLogEntry`]; a corrupt or missing file starts fresh
-/// rather than aborting a finished campaign.
+/// rather than aborting a finished campaign. Re-running at the same
+/// `(git rev, jobs, target set)` *replaces* the earlier measurement
+/// instead of appending forever — rerunning a campaign at one revision
+/// must not make the trajectory grow without bound.
 fn append_bench_log(reports: &[TargetReport], failures: &[String]) {
     let path = std::env::var("ITESP_BENCH_LOG").unwrap_or_else(|_| "BENCH_run_all.json".to_owned());
     let entry = BenchLogEntry {
@@ -105,23 +180,28 @@ fn append_bench_log(reports: &[TargetReport], failures: &[String]) {
         total_seconds: reports.iter().map(|r| r.seconds).sum(),
         failures: failures.to_vec(),
     };
+    let mut key_targets: Vec<String> = entry.targets.iter().map(|t| t.target.clone()).collect();
+    key_targets.sort_unstable();
+    let key = (entry.git_rev.clone(), entry.jobs as u64, key_targets);
     let rendered = serde_json::to_string_pretty(&entry).expect("entry serializes");
-    // The vendored serde_json reads but cannot re-serialize parsed
-    // values, so append by splicing into the validated array text.
-    let existing = std::fs::read_to_string(&path)
+
+    let mut parts: Vec<String> = std::fs::read_to_string(&path)
         .ok()
         .filter(|s| serde_json::from_str(s).is_ok())
-        .map(|s| s.trim_end().to_owned())
-        .filter(|s| s.ends_with(']') && s.starts_with('['));
-    let body = match existing {
-        Some(arr) if arr.trim_start_matches('[').trim_start().starts_with(']') => {
-            format!("[\n{rendered}\n]")
-        }
-        Some(arr) => format!("{},\n{rendered}\n]", arr.trim_end_matches(']').trim_end()),
-        None => format!("[\n{rendered}\n]"),
-    };
+        .and_then(|s| split_array_elements(&s))
+        .unwrap_or_default();
+    let before = parts.len();
+    parts.retain(|e| entry_key(e).is_none_or(|k| k != key));
+    let superseded = before - parts.len();
+    parts.push(rendered);
+    let body = format!("[\n{}\n]", parts.join(",\n"));
     if let Err(e) = std::fs::write(&path, body + "\n") {
         eprintln!("warning: could not append bench log {path}: {e}");
+    } else if superseded > 0 {
+        println!(
+            "[bench trajectory updated in {path}: replaced {superseded} same-key entr{}]",
+            if superseded == 1 { "y" } else { "ies" }
+        );
     } else {
         println!("[bench trajectory appended to {path}]");
     }
@@ -261,5 +341,48 @@ fn main() {
              rerun with --resume to finish without recomputing them"
         );
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitter_handles_nesting_strings_and_whitespace() {
+        let text = r#"[
+            {"a": [1, 2], "s": "br,ack]et \" quote"},
+            {"b": {"c": 3}}
+        ]"#;
+        let elems = split_array_elements(text).unwrap();
+        assert_eq!(elems.len(), 2);
+        assert!(elems[0].contains("br,ack]et"));
+        assert!(elems[1].starts_with('{') && elems[1].ends_with('}'));
+        assert_eq!(split_array_elements("[]").unwrap(), Vec::<String>::new());
+        assert_eq!(split_array_elements("not json"), None);
+    }
+
+    #[test]
+    fn entry_key_is_rev_jobs_and_sorted_target_set() {
+        let a = r#"{"git_rev": "abc", "jobs": 4,
+            "targets": [{"target": "fig08", "seconds": 1.0},
+                        {"target": "fig09", "seconds": 2.0}]}"#;
+        let b = r#"{"git_rev": "abc", "jobs": 4, "timestamp": 99,
+            "targets": [{"target": "fig09", "seconds": 7.5},
+                        {"target": "fig08", "seconds": 0.1}]}"#;
+        let c = r#"{"git_rev": "abc", "jobs": 8,
+            "targets": [{"target": "fig08", "seconds": 1.0}]}"#;
+        // Same key regardless of target order, seconds, or extra fields.
+        assert_eq!(entry_key(a), entry_key(b));
+        assert_ne!(entry_key(a), entry_key(c));
+        assert_eq!(entry_key("{}"), None);
+    }
+
+    #[test]
+    fn splitting_then_joining_round_trips_a_log() {
+        let log = "[\n{\n  \"git_rev\": \"abc\",\n  \"jobs\": 4\n},\n{\n  \"git_rev\": \"def\",\n  \"jobs\": 4\n}\n]";
+        let elems = split_array_elements(log).unwrap();
+        let rebuilt = format!("[\n{}\n]", elems.join(",\n"));
+        assert_eq!(rebuilt, log);
     }
 }

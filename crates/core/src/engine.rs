@@ -22,13 +22,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{largest_valid_capacity, CacheStats, PartitionedCache};
-use crate::counters::OverflowTracker;
+use crate::cache::CacheStats;
 use crate::error::EngineConfigError;
-use crate::scheme::{ParityMode, Scheme, SchemeSpec, TreeKind};
-use crate::tree::{NodeId, TreeGeometry};
-
-use std::collections::BTreeSet;
+use crate::model::SchemeModel;
+use crate::scheme::{ModelFamily, Scheme, SchemeSpec, TreeKind};
+use crate::tree::TreeGeometry;
 
 /// Which metadata structure a transaction belongs to (Figure 9's
 /// breakdown categories).
@@ -318,59 +316,18 @@ impl EngineStats {
         (self.meta_reads[i] + self.meta_writes[i]) as f64 / self.data_accesses().max(1) as f64
     }
 }
-
-/// Per-enclave region bases for metadata placement in physical memory.
-#[derive(Debug, Clone)]
-struct Regions {
-    tree_bases: Vec<u64>,
-    mac_bases: Vec<u64>,
-    parity_bases: Vec<u64>,
-}
-
-/// The security metadata engine. See module docs.
+/// The security metadata engine: configuration, statistics, and the
+/// per-scheme [`SchemeModel`] it dispatches through. See module docs
+/// and [`crate::model`].
 #[derive(Debug)]
 pub struct SecurityEngine {
     cfg: EngineConfig,
     spec: SchemeSpec,
-    geo: Option<TreeGeometry>,
-    /// Lifecycle override of `geo` per partition: a footprint-sized
-    /// private tree installed by an enclave manager (`None` = the
-    /// static construction-time tree). Only ever `Some` for isolated
-    /// schemes.
-    part_geos: Vec<Option<TreeGeometry>>,
-    /// Construction-time per-partition, per-structure cache slice,
-    /// bytes — the budget unit `repartition_caches` redistributes.
-    slice_bytes: usize,
-    tree_cache: Option<PartitionedCache>,
-    mac_cache: Option<PartitionedCache>,
-    parity_cache: Option<PartitionedCache>,
-    overflow: Option<OverflowTracker>,
-    regions: Regions,
     stats: EngineStats,
-    /// Ancestor memo: per partition, the leaf whose verified path was
-    /// the cache's last touch (see [`Self::walk_tree`]). `None` when
-    /// anything else has touched that partition's tree cache since.
-    tree_memo: Vec<Option<TreeMemo>>,
-    /// Runtime toggle for the memo fast path (equivalence tests run
-    /// with it off to obtain the scalar reference behavior).
-    memo_enabled: bool,
+    /// The scheme family's traffic model (tree-walk, link-level, or
+    /// ORAM) — owns the caches, regions, and address math.
+    model: Box<dyn SchemeModel>,
 }
-
-/// One memoized verified tree path: the last-touched leaf and its
-/// metadata address. Valid only while the partition's tree cache has
-/// seen no other traffic, which guarantees the leaf line is still
-/// resident — so a same-leaf access hits at the leaf and stops there,
-/// exactly like the full walk would.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct TreeMemo {
-    leaf_index: u64,
-    leaf_addr: u64,
-}
-
-/// Cap on dirty-writeback cascade processing per access (the lazy
-/// hash-propagation chain is almost always 1-2 deep; the cap guards the
-/// pathological case).
-const MAX_WRITEBACK_CHAIN: usize = 32;
 
 impl SecurityEngine {
     /// Build the engine.
@@ -389,77 +346,21 @@ impl SecurityEngine {
     /// [`crate::Error::Engine`] naming the violated constraint.
     pub fn try_new(cfg: EngineConfig) -> Result<Self, crate::Error> {
         cfg.validate().map_err(crate::Error::Engine)?;
-        let spec = cfg.scheme.spec();
-        let span = if spec.isolated {
-            cfg.enclave_capacity
-        } else {
-            cfg.data_capacity
-        };
-        let geo = spec.tree.geometry(span / 64);
-
-        let parts = if spec.isolated { cfg.enclaves } else { 1 };
-        let per_part_budget = cfg.metadata_cache_bytes / parts;
-
-        // Split the budget across the structures the scheme caches.
-        let needs_mac_cache = spec.tree != TreeKind::None && !spec.mac_inline;
-        let needs_parity_cache = spec.parity_cached;
-        let split = 1 + usize::from(needs_mac_cache) + usize::from(needs_parity_cache);
-        let slice = per_part_budget / split;
-
-        let mk = |bytes: usize| PartitionedCache::new(parts, bytes, cfg.cache_ways);
-        let tree_cache = (spec.tree != TreeKind::None).then(|| mk(slice));
-        let mac_cache = needs_mac_cache.then(|| mk(slice));
-        let parity_cache = needs_parity_cache.then(|| mk(slice));
-
-        let overflow = (cfg.model_overflow && geo.is_some()).then(|| {
-            let g = geo.as_ref().expect("checked");
-            OverflowTracker::new(g.local_counter_bits(), g.leaf_arity())
-        });
-
-        // Metadata regions live above the data span; each enclave (or
-        // the single shared instance) gets its own stripe.
-        let tree_bytes = geo.as_ref().map_or(0, TreeGeometry::storage_bytes);
-        let mac_bytes = span / 8;
-        let parity_bytes = span / 8;
-        let stripe = tree_bytes + mac_bytes + parity_bytes;
-        let mut tree_bases = Vec::with_capacity(parts);
-        let mut mac_bases = Vec::with_capacity(parts);
-        let mut parity_bases = Vec::with_capacity(parts);
-        for p in 0..parts as u64 {
-            let base = cfg.data_capacity + p * stripe;
-            tree_bases.push(base);
-            mac_bases.push(base + tree_bytes);
-            parity_bases.push(base + tree_bytes + mac_bytes);
-        }
-
         Ok(SecurityEngine {
             cfg,
-            spec,
-            geo,
-            part_geos: (0..parts).map(|_| None).collect(),
-            slice_bytes: slice,
-            tree_cache,
-            mac_cache,
-            parity_cache,
-            overflow,
-            regions: Regions {
-                tree_bases,
-                mac_bases,
-                parity_bases,
-            },
+            spec: cfg.scheme.spec(),
             stats: EngineStats::default(),
-            tree_memo: (0..parts).map(|_| None).collect(),
-            memo_enabled: true,
+            model: crate::model::build_model(cfg),
         })
     }
 
     /// Enable or disable the ancestor-memo fast path. Disabling also
     /// drops every memoized path, so the next access per partition
     /// performs the full scalar walk — the mode the lockstep
-    /// equivalence tests compare against.
+    /// equivalence tests compare against. No-op for families without
+    /// a tree walk.
     pub fn set_tree_memo(&mut self, enabled: bool) {
-        self.memo_enabled = enabled;
-        self.tree_memo.iter_mut().for_each(|m| *m = None);
+        self.model.set_tree_memo(enabled);
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -470,68 +371,76 @@ impl SecurityEngine {
         &self.spec
     }
 
+    /// Which traffic-model family executes this scheme.
+    pub fn family(&self) -> ModelFamily {
+        self.model.family()
+    }
+
     pub fn stats(&self) -> &EngineStats {
         &self.stats
     }
 
-    /// The integrity-tree geometry in use, if the scheme has a tree.
+    /// The integrity-tree geometry in use, if the scheme walks a
+    /// counter tree (`None` for treeless, link-level, and ORAM
+    /// schemes — the ORAM bucket tree is not a counter tree).
     pub fn geometry(&self) -> Option<&TreeGeometry> {
-        self.geo.as_ref()
+        self.model.geometry()
     }
 
     /// The geometry partition `part` is actually running: the
     /// lifecycle-installed private tree if one is present (see
     /// [`Self::install_tree`]), else the construction-time geometry.
     pub fn active_geometry(&self, part: usize) -> Option<&TreeGeometry> {
-        self.part_geos
-            .get(part)
-            .and_then(Option::as_ref)
-            .or(self.geo.as_ref())
+        self.model.active_geometry(part)
     }
 
     /// Number of metadata partitions (one per enclave when isolated,
     /// otherwise a single shared partition).
     pub fn partitions(&self) -> usize {
-        self.regions.tree_bases.len()
+        self.model.partitions()
     }
 
     /// Base physical address of partition `part`'s tree region.
     pub fn tree_base(&self, part: usize) -> u64 {
-        self.regions.tree_bases[part]
+        self.model.tree_base(part)
     }
 
     /// Base physical address of partition `part`'s MAC region.
     pub fn mac_base(&self, part: usize) -> u64 {
-        self.regions.mac_bases[part]
+        self.model.mac_base(part)
     }
 
     /// Base physical address of partition `part`'s parity region.
     pub fn parity_base(&self, part: usize) -> u64 {
-        self.regions.parity_bases[part]
+        self.model.parity_base(part)
+    }
+
+    /// Size in bytes of one partition's metadata region for `kind`
+    /// (the bound the differential oracle checks containment against).
+    pub fn region_span(&self, kind: MetaKind) -> u64 {
+        self.model.region_span(kind)
+    }
+
+    /// Whether the scheme can detect corrupted data (tree MAC, link
+    /// MAC, or bucket MAC). Detection without parity makes a chip
+    /// fault a DUE; no detection makes it silent corruption.
+    pub fn detects_errors(&self) -> bool {
+        self.model.detects_errors()
     }
 
     /// Tree/counter metadata-cache statistics (merged across partitions).
     pub fn tree_cache_stats(&self) -> CacheStats {
-        self.tree_cache
-            .as_ref()
-            .map(PartitionedCache::stats)
-            .unwrap_or_default()
+        self.model.tree_cache_stats()
     }
 
     /// MAC cache statistics (VAULT-style schemes only).
     pub fn mac_cache_stats(&self) -> CacheStats {
-        self.mac_cache
-            .as_ref()
-            .map(PartitionedCache::stats)
-            .unwrap_or_default()
+        self.model.mac_cache_stats()
     }
 
     /// Parity cache statistics (parity-cached schemes only).
     pub fn parity_cache_stats(&self) -> CacheStats {
-        self.parity_cache
-            .as_ref()
-            .map(PartitionedCache::stats)
-            .unwrap_or_default()
+        self.model.parity_cache_stats()
     }
 
     /// Combined metadata-cache statistics (tree + MAC), the quantity
@@ -596,8 +505,8 @@ impl SecurityEngine {
     }
 
     /// The body shared by [`Self::on_access`] and
-    /// [`Self::on_access_batch`]: filter one access, appending its
-    /// transactions to `mem` and returning its stall and class.
+    /// [`Self::on_access_batch`]: locate the partition, dispatch to the
+    /// scheme model, and fold the outcome into the statistics.
     fn access_into(
         &mut self,
         enclave: usize,
@@ -614,45 +523,12 @@ impl SecurityEngine {
 
         let start = mem.len();
         let (part, block) = self.locate(enclave, paddr, enclave_block);
+        let (stall, case) = self.model.access(part, block, is_write, mem);
 
-        // 1. Counter-tree walk (verification and, on writes, counter
-        //    increment).
-        let tree_misses = if self.geo.is_some() {
-            self.walk_tree(part, block, is_write, mem)
-        } else {
-            0
-        };
-
-        // 2. Separate MAC structure (VAULT-style only; Synergy's MAC
-        //    rides the ECC pins for free).
-        let mac_missed = if self.geo.is_some() && !self.spec.mac_inline {
-            self.mac_access(part, block, is_write, mem)
-        } else {
-            false
-        };
-
-        // 3. Correction-parity update on writes.
-        if is_write {
-            self.parity_update(part, block, mem);
+        if stall > 0 {
+            self.stats.overflows += 1;
+            self.stats.overflow_stall_cycles += stall;
         }
-
-        // 4. Local-counter overflow stalls (Figure 11 runs).
-        let mut stall = 0;
-        if is_write {
-            let active = self.part_geos[part].as_ref().or(self.geo.as_ref());
-            if let (Some(of), Some(geo)) = (self.overflow.as_mut(), active) {
-                let node_key = ((part as u64) << 48) | geo.leaf_of(block).index;
-                let block_key = ((part as u64) << 48) | block;
-                let penalty = of.on_write(node_key, block_key);
-                if penalty > 0 {
-                    self.stats.overflows += 1;
-                    self.stats.overflow_stall_cycles += penalty;
-                    stall = penalty;
-                }
-            }
-        }
-
-        let case = MissCase::classify(mac_missed, tree_misses);
         self.stats.case_counts[case.index()] += 1;
 
         for m in &mem[start..] {
@@ -666,349 +542,33 @@ impl SecurityEngine {
         (stall, case)
     }
 
-    /// Walk leaf-to-top until an on-chip hit; returns levels fetched
-    /// from memory. Dirty evictions propagate hashes lazily: the victim
-    /// is written back and its parent is dirtied.
-    ///
-    /// Consecutive same-leaf accesses take the ancestor-memo fast path:
-    /// when the partition's last tree-cache touch was a clean walk of
-    /// this very leaf (leaf hit, no writebacks), the leaf line is still
-    /// resident and the scalar walk would perform exactly one hit
-    /// access and stop — so the memo path performs exactly that single
-    /// access, with no iterator walk and byte-identical cache state and
-    /// stats. Any other traffic into the partition's tree cache (longer
-    /// walks, writeback cascades, fallback parity lines, lifecycle
-    /// flushes) invalidates the memo.
-    fn walk_tree(
-        &mut self,
-        part: usize,
-        block: u64,
-        dirty_leaf: bool,
-        mem: &mut Vec<MetaAccess>,
-    ) -> u32 {
-        let geo = self.part_geos[part]
-            .as_ref()
-            .or(self.geo.as_ref())
-            .expect("walk_tree requires a tree");
-        let leaf_index = geo.leaf_of(block).index;
-
-        if self.memo_enabled {
-            if let Some(memo) = self.tree_memo[part] {
-                if memo.leaf_index == leaf_index {
-                    let cache = self.tree_cache.as_mut().expect("tree implies tree cache");
-                    let out = cache.access(part, memo.leaf_addr, dirty_leaf);
-                    debug_assert!(
-                        out.hit && out.writeback.is_none(),
-                        "memoized leaf must still be resident"
-                    );
-                    return 0;
-                }
-            }
-        }
-
-        let cache = self.tree_cache.as_mut().expect("tree implies tree cache");
-        let base = self.regions.tree_bases[part];
-
-        let mut misses = 0;
-        let mut pending = Vec::new();
-        let mut leaf_addr = 0;
-        for node in geo.walk(block) {
-            let addr = geo.node_addr(base, node);
-            if node.level == 0 {
-                leaf_addr = addr;
-            }
-            let out = cache.access(part, addr, dirty_leaf && node.level == 0);
-            if let Some(victim) = out.writeback {
-                pending.push(victim);
-            }
-            if out.hit {
-                break;
-            }
-            mem.push(MetaAccess {
-                addr,
-                is_write: false,
-                kind: MetaKind::Tree,
-            });
-            misses += 1;
-        }
-
-        // Lazy hash propagation for evicted dirty nodes (and plain
-        // writes for evicted fallback-parity lines).
-        let clean_walk = pending.is_empty();
-        self.process_writebacks(part, pending, mem);
-        // Memoize only a walk that was a single leaf hit: no
-        // allocations, so no line (the leaf included) can have been
-        // silently evicted, and the fast path replays it exactly.
-        self.tree_memo[part] = (misses == 0 && clean_walk).then_some(TreeMemo {
-            leaf_index,
-            leaf_addr,
-        });
-        misses
-    }
-
-    /// Handle one unified-cache eviction (and any cascade): tree nodes
-    /// are written back and dirty their parent; fallback-parity lines
-    /// (addresses in the parity region) are simply written back — the
-    /// write half of their read-modify-write.
-    fn unified_writeback(&mut self, part: usize, victim: u64, mem: &mut Vec<MetaAccess>) {
-        self.process_writebacks(part, vec![victim], mem);
-    }
-
-    fn process_writebacks(
-        &mut self,
-        part: usize,
-        mut pending: Vec<u64>,
-        mem: &mut Vec<MetaAccess>,
-    ) {
-        if !pending.is_empty() {
-            // Writeback traffic re-touches the partition's tree cache
-            // (parent accesses may allocate and evict): drop the memo.
-            self.tree_memo[part] = None;
-        }
-        let geo = self.part_geos[part]
-            .as_ref()
-            .or(self.geo.as_ref())
-            .expect("writebacks imply a tree");
-        let cache = self.tree_cache.as_mut().expect("tree cache");
-        let tree_base = self.regions.tree_bases[part];
-        let parity_base = self.regions.parity_bases[part];
-        let mut processed = 0;
-        while let Some(victim) = pending.pop() {
-            if victim >= parity_base {
-                // Fallback shared-parity line: plain write, no parent.
-                mem.push(MetaAccess {
-                    addr: victim,
-                    is_write: true,
-                    kind: MetaKind::Parity,
-                });
-                continue;
-            }
-            mem.push(MetaAccess {
-                addr: victim,
-                is_write: true,
-                kind: MetaKind::Tree,
-            });
-            processed += 1;
-            if processed > MAX_WRITEBACK_CHAIN {
-                continue; // account the write, skip further propagation
-            }
-            let node = geo.node_at(tree_base, victim);
-            if let Some(parent) = geo.parent(node) {
-                let paddr = geo.node_addr(tree_base, parent);
-                let out = cache.access(part, paddr, true);
-                if let Some(v2) = out.writeback {
-                    pending.push(v2);
-                }
-                if !out.hit {
-                    mem.push(MetaAccess {
-                        addr: paddr,
-                        is_write: false,
-                        kind: MetaKind::Tree,
-                    });
-                }
-            }
-        }
-    }
-
-    /// VAULT-style separate MAC structure: one 64 B line holds MACs for
-    /// 8 consecutive blocks. Returns whether the MAC missed on-chip.
-    fn mac_access(
-        &mut self,
-        part: usize,
-        block: u64,
-        is_write: bool,
-        mem: &mut Vec<MetaAccess>,
-    ) -> bool {
-        let cache = self.mac_cache.as_mut().expect("separate MAC needs a cache");
-        let addr = self.regions.mac_bases[part] + (block / 8) * 64;
-        let out = cache.access(part, addr, is_write);
-        if let Some(victim) = out.writeback {
-            mem.push(MetaAccess {
-                addr: victim,
-                is_write: true,
-                kind: MetaKind::Mac,
-            });
-        }
-        if !out.hit {
-            mem.push(MetaAccess {
-                addr,
-                is_write: false,
-                kind: MetaKind::Mac,
-            });
-        }
-        !out.hit
-    }
-
-    /// Parity-group id for `block` when one parity covers `share` blocks
-    /// in different ranks: with rank stride S, a group is the blocks
-    /// `{w + j + k*S | k in 0..share}` within each window `w` of
-    /// `S * share` blocks.
-    fn parity_group(&self, block: u64, share: u64) -> u64 {
-        let s = self.cfg.rank_stride_blocks.max(1);
-        let window = s.saturating_mul(share);
-        (block / window) * s + (block % s)
-    }
-
     /// Can the embedded-parity design actually embed under the current
-    /// address mapping? A leaf's parity group must span `share`
-    /// different ranks; with rank stride S, a group covers `S * share`
-    /// consecutive blocks, which must fit within one leaf's span
-    /// (Section III-E: "consecutive cache lines must share a global
-    /// counter and parity [and] must also be mapped to different
-    /// ranks"). Column mapping (S = 1024) violates this, so parity
-    /// falls back to a separate shared-parity structure that contends
-    /// in the unified metadata cache — Figure 15's penalty.
+    /// address mapping? See `TreeWalkModel::embedding_viable`
+    /// (Section III-E); always false for non-tree families.
+    ///
+    /// # Panics
+    /// For tree-walk schemes without a tree (embedded parity implies a
+    /// tree).
     pub fn embedding_viable(&self) -> bool {
-        let geo = self.geo.as_ref().expect("embedded parity implies tree");
-        let s = self.cfg.rank_stride_blocks.max(1);
-        s.saturating_mul(geo.parity_share()) <= geo.leaf_arity()
+        self.model.embedding_viable()
     }
 
     /// How many blocks share one correction parity under this scheme:
     /// 1 for per-block parity (Synergy), the cross-rank group size for
-    /// shared and embedded parity, 0 when the scheme has no parity at
-    /// all (detection-only designs cannot reconstruct).
+    /// shared and embedded parity, 8 for ORAM bucket parity, 0 when
+    /// the scheme cannot reconstruct at all (detection-only designs).
     pub fn parity_group_share(&self) -> u64 {
-        match self.spec.parity {
-            ParityMode::None => 0,
-            ParityMode::PerBlock => 1,
-            ParityMode::Shared(share) => share,
-            ParityMode::Embedded => self.geo.as_ref().map_or(0, |g| g.parity_share()),
-        }
-    }
-
-    /// External fallback-parity line used when embedding is not viable:
-    /// groups are laid out rank-major so consecutive blocks map to
-    /// different parity lines (Section V-C).
-    fn fallback_parity_line(&self, part: usize, block: u64) -> u64 {
-        let geo = self.geo.as_ref().expect("embedded parity implies tree");
-        let share = geo.parity_share();
-        let s = self.cfg.rank_stride_blocks.max(1);
-        let window = s.saturating_mul(share).min(geo.data_blocks()).max(1);
-        let windows = (geo.data_blocks() / window).max(1);
-        let group = (block % s) * windows + (block / window);
-        self.regions.parity_bases[part] + (group / 8) * 64
+        self.model.parity_group_share()
     }
 
     /// The memory line a recovery of `block` must fetch its correction
     /// parity from: the per-block/shared parity line, the tree leaf for
-    /// viable embedded parity, or the external fallback line. `None`
-    /// when the scheme has no parity (detection-only — the RAS layer
-    /// reports an uncorrectable error instead of reconstructing).
+    /// viable embedded parity, the external fallback line, or the
+    /// bucket-parity line (ORAM). `None` when the scheme has no parity
+    /// (detection-only — the RAS layer reports an uncorrectable error
+    /// instead of reconstructing).
     pub fn recovery_parity_addr(&self, part: usize, block: u64) -> Option<u64> {
-        let base = self.regions.parity_bases[part];
-        match self.spec.parity {
-            ParityMode::None => None,
-            ParityMode::PerBlock => Some(base + (block / 8) * 64),
-            ParityMode::Shared(share) => {
-                let group = self.parity_group(block, share);
-                Some(base + (group / 8) * 64)
-            }
-            ParityMode::Embedded => {
-                if self.embedding_viable() {
-                    // Parity rides in the tree leaf covering the block.
-                    let geo = self.geo.as_ref().expect("embedded parity implies tree");
-                    let leaf = geo.leaf_of(block);
-                    Some(geo.node_addr(self.regions.tree_bases[part], leaf))
-                } else {
-                    Some(self.fallback_parity_line(part, block))
-                }
-            }
-        }
-    }
-
-    fn parity_update(&mut self, part: usize, block: u64, mem: &mut Vec<MetaAccess>) {
-        let base = self.regions.parity_bases[part];
-        match self.spec.parity {
-            ParityMode::None => {}
-            ParityMode::PerBlock => {
-                // One 64-bit parity word per block, 8 words per line.
-                let line = base + (block / 8) * 64;
-                if let Some(cache) = self.parity_cache.as_mut() {
-                    // Coalescing write buffer: allocate without fetching;
-                    // evicted entries become one masked write.
-                    let out = cache.access(part, line, true);
-                    if let Some(victim) = out.writeback {
-                        mem.push(MetaAccess {
-                            addr: victim,
-                            is_write: true,
-                            kind: MetaKind::Parity,
-                        });
-                    }
-                } else {
-                    // Baseline Synergy: every data write pays a masked
-                    // parity write (a full-occupancy transaction).
-                    mem.push(MetaAccess {
-                        addr: line,
-                        is_write: true,
-                        kind: MetaKind::Parity,
-                    });
-                }
-            }
-            ParityMode::Shared(share) => {
-                let group = self.parity_group(block, share);
-                let line = base + (group / 8) * 64;
-                if let Some(cache) = self.parity_cache.as_mut() {
-                    // The cache holds parity *diffs*; eviction must RMW.
-                    let out = cache.access(part, line, true);
-                    if let Some(victim) = out.writeback {
-                        mem.push(MetaAccess {
-                            addr: victim,
-                            is_write: false,
-                            kind: MetaKind::Parity,
-                        });
-                        mem.push(MetaAccess {
-                            addr: victim,
-                            is_write: true,
-                            kind: MetaKind::Parity,
-                        });
-                    }
-                } else {
-                    // Uncached shared parity: RMW on every data write.
-                    mem.push(MetaAccess {
-                        addr: line,
-                        is_write: false,
-                        kind: MetaKind::Parity,
-                    });
-                    mem.push(MetaAccess {
-                        addr: line,
-                        is_write: true,
-                        kind: MetaKind::Parity,
-                    });
-                }
-            }
-            ParityMode::Embedded => {
-                if self.embedding_viable() {
-                    // Parity lives in the tree leaf the walk already
-                    // fetched and dirtied: no extra traffic.
-                } else {
-                    // The mapping cannot co-locate a parity group in
-                    // one leaf (Column): parity falls back to an
-                    // external shared structure that shares the unified
-                    // metadata cache — fetched on miss (the read half
-                    // of the RMW), written back on eviction. Groups are
-                    // laid out rank-major, so "consecutive cache lines
-                    // are mapped to different shared parity blocks"
-                    // (Section V-C) and writes do not coalesce.
-                    let line = self.fallback_parity_line(part, block);
-                    // This access shares the unified tree cache and can
-                    // silently evict the memoized leaf: drop the memo.
-                    self.tree_memo[part] = None;
-                    let cache = self.tree_cache.as_mut().expect("tree cache");
-                    let out = cache.access(part, line, true);
-                    if !out.hit {
-                        mem.push(MetaAccess {
-                            addr: line,
-                            is_write: false,
-                            kind: MetaKind::Parity,
-                        });
-                    }
-                    if let Some(victim) = out.writeback {
-                        self.unified_writeback(part, victim, mem);
-                    }
-                }
-            }
-        }
+        self.model.recovery_parity_addr(part, block)
     }
 
     /// Fold a batch of lifecycle-generated transactions into the
@@ -1032,6 +592,8 @@ impl SecurityEngine {
     // whole partition at destroy. Every operation returns the metadata
     // transactions it costs, in issue order, already folded into
     // `stats` — the simulator turns them into real DRAM traffic.
+    // Dispatches through the scheme model; families without private
+    // trees (link-level, ORAM, shared tree-walk) are no-ops.
     // ------------------------------------------------------------------
 
     /// Install a private tree for partition `part`, sized to cover
@@ -1045,32 +607,8 @@ impl SecurityEngine {
     /// No-op for non-isolated schemes (their shared tree covers all of
     /// memory and is never resized) and for schemes without a tree.
     pub fn install_tree(&mut self, part: usize, data_blocks: u64) -> Vec<MetaAccess> {
-        if !self.spec.isolated || self.geo.is_none() {
-            return Vec::new();
-        }
-        let cap = self.cfg.enclave_capacity / 64;
-        let blocks = data_blocks.clamp(1, cap);
-        let geo = self
-            .spec
-            .tree
-            .geometry(blocks)
-            .expect("isolated schemes have a tree");
-        // Any resident lines belong to a previous tenant's layout; the
-        // destroy path already discarded them, but be safe against a
-        // re-install without an intervening reset.
-        self.tree_memo[part] = None;
-        if let Some(c) = self.tree_cache.as_mut() {
-            c.partition_mut(part).discard();
-        }
-        let base = self.regions.tree_bases[part];
-        let mem: Vec<MetaAccess> = (0..geo.total_nodes())
-            .map(|i| MetaAccess {
-                addr: base + i * 64,
-                is_write: true,
-                kind: MetaKind::Tree,
-            })
-            .collect();
-        self.part_geos[part] = Some(geo);
+        let mut mem = Vec::new();
+        self.model.install_tree(part, data_blocks, &mut mem);
         self.account(&mem);
         mem
     }
@@ -1087,58 +625,8 @@ impl SecurityEngine {
     ///
     /// Installs the tree outright if none is present yet.
     pub fn grow_tree(&mut self, part: usize, data_blocks: u64) -> Vec<MetaAccess> {
-        if !self.spec.isolated || self.geo.is_none() {
-            return Vec::new();
-        }
-        let Some(old) = self.part_geos[part].as_ref() else {
-            return self.install_tree(part, data_blocks);
-        };
-        let cap = self.cfg.enclave_capacity / 64;
-        let blocks = data_blocks.clamp(1, cap);
-        if blocks <= old.data_blocks() {
-            return Vec::new();
-        }
-        let old_nodes = old.total_nodes();
-        let new = self
-            .spec
-            .tree
-            .geometry(blocks)
-            .expect("isolated schemes have a tree");
-        let base = self.regions.tree_bases[part];
-        let parity_base = self.regions.parity_bases[part];
         let mut mem = Vec::new();
-        self.tree_memo[part] = None;
-        if let Some(c) = self.tree_cache.as_mut() {
-            for addr in c.partition_mut(part).flush() {
-                // The unified cache can hold fallback-parity lines;
-                // label them as in the eviction path.
-                let kind = if addr >= parity_base {
-                    MetaKind::Parity
-                } else {
-                    MetaKind::Tree
-                };
-                mem.push(MetaAccess {
-                    addr,
-                    is_write: true,
-                    kind,
-                });
-            }
-        }
-        for i in 0..old_nodes {
-            mem.push(MetaAccess {
-                addr: base + i * 64,
-                is_write: false,
-                kind: MetaKind::Tree,
-            });
-        }
-        for i in 0..new.total_nodes() {
-            mem.push(MetaAccess {
-                addr: base + i * 64,
-                is_write: true,
-                kind: MetaKind::Tree,
-            });
-        }
-        self.part_geos[part] = Some(new);
+        self.model.grow_tree(part, data_blocks, &mut mem);
         self.account(&mem);
         mem
     }
@@ -1151,42 +639,8 @@ impl SecurityEngine {
     /// geometry. Returns empty if no tree was installed (nothing to
     /// tear down) or the scheme is not isolated.
     pub fn reset_partition(&mut self, part: usize) -> Vec<MetaAccess> {
-        if !self.spec.isolated {
-            return Vec::new();
-        }
-        let Some(geo) = self.part_geos[part].take() else {
-            return Vec::new();
-        };
-        self.tree_memo[part] = None;
-        for c in [
-            &mut self.tree_cache,
-            &mut self.mac_cache,
-            &mut self.parity_cache,
-        ]
-        .into_iter()
-        .flatten()
-        {
-            c.partition_mut(part).discard();
-        }
         let mut mem = Vec::new();
-        let base = self.regions.tree_bases[part];
-        for i in 0..geo.total_nodes() {
-            mem.push(MetaAccess {
-                addr: base + i * 64,
-                is_write: true,
-                kind: MetaKind::Tree,
-            });
-        }
-        if !self.spec.mac_inline {
-            let mac_base = self.regions.mac_bases[part];
-            for line in 0..geo.data_blocks().div_ceil(8) {
-                mem.push(MetaAccess {
-                    addr: mac_base + line * 64,
-                    is_write: true,
-                    kind: MetaKind::Mac,
-                });
-            }
-        }
+        self.model.reset_partition(part, &mut mem);
         self.account(&mem);
         mem
     }
@@ -1211,108 +665,9 @@ impl SecurityEngine {
         count: u64,
         rebuild_parity: bool,
     ) -> Vec<MetaAccess> {
-        let Some(geo) = self.part_geos[part].as_ref().or(self.geo.as_ref()) else {
-            // No tree (Unsecure): nothing to reset, and such schemes
-            // keep no parity either.
-            return Vec::new();
-        };
-        if count == 0 || first_block >= geo.data_blocks() {
-            return Vec::new();
-        }
-        let last = (first_block + count - 1).min(geo.data_blocks() - 1);
-        let tree_base = self.regions.tree_bases[part];
-        let leaf_addrs: Vec<u64> = (first_block / geo.leaf_arity()..=last / geo.leaf_arity())
-            .map(|index| geo.node_addr(tree_base, NodeId { level: 0, index }))
-            .collect();
-        let mac_lines: Vec<u64> = if self.spec.mac_inline || self.mac_cache.is_none() {
-            Vec::new()
-        } else {
-            let mac_base = self.regions.mac_bases[part];
-            (first_block / 8..=last / 8)
-                .map(|line| mac_base + line * 64)
-                .collect()
-        };
-        let parity_base = self.regions.parity_bases[part];
-        // (line address, pays RMW read) per touched parity line.
-        let mut parity_lines: Vec<(u64, bool)> = Vec::new();
-        if rebuild_parity {
-            match self.spec.parity {
-                ParityMode::None => {}
-                ParityMode::PerBlock => {
-                    for line in first_block / 8..=last / 8 {
-                        parity_lines.push((parity_base + line * 64, false));
-                    }
-                }
-                ParityMode::Shared(share) => {
-                    let lines: BTreeSet<u64> = (first_block..=last)
-                        .map(|b| parity_base + (self.parity_group(b, share) / 8) * 64)
-                        .collect();
-                    parity_lines.extend(lines.into_iter().map(|l| (l, true)));
-                }
-                ParityMode::Embedded => {
-                    if !self.embedding_viable() {
-                        let lines: BTreeSet<u64> = (first_block..=last)
-                            .map(|b| self.fallback_parity_line(part, b))
-                            .collect();
-                        parity_lines.extend(lines.into_iter().map(|l| (l, true)));
-                    }
-                    // Viable embedding: the leaf rewrite carries the
-                    // fresh parity; no extra lines.
-                }
-            }
-        }
-
         let mut mem = Vec::new();
-        // Recycled leaves must never serve from a memoized path.
-        self.tree_memo[part] = None;
-        if let Some(c) = self.tree_cache.as_mut() {
-            let p = c.partition_mut(part);
-            for &addr in &leaf_addrs {
-                p.invalidate(addr);
-            }
-        }
-        for &addr in &leaf_addrs {
-            mem.push(MetaAccess {
-                addr,
-                is_write: true,
-                kind: MetaKind::Tree,
-            });
-        }
-        if let Some(c) = self.mac_cache.as_mut() {
-            let p = c.partition_mut(part);
-            for &addr in &mac_lines {
-                p.invalidate(addr);
-            }
-        }
-        for &addr in &mac_lines {
-            mem.push(MetaAccess {
-                addr,
-                is_write: true,
-                kind: MetaKind::Mac,
-            });
-        }
-        for &(addr, rmw) in &parity_lines {
-            // Fallback-embedded lines live in the unified tree cache;
-            // a dedicated parity cache holds the others. Either way the
-            // stale cached state is superseded by the rebuild.
-            if let Some(c) = self.parity_cache.as_mut() {
-                c.partition_mut(part).invalidate(addr);
-            } else if let Some(c) = self.tree_cache.as_mut() {
-                c.partition_mut(part).invalidate(addr);
-            }
-            if rmw {
-                mem.push(MetaAccess {
-                    addr,
-                    is_write: false,
-                    kind: MetaKind::Parity,
-                });
-            }
-            mem.push(MetaAccess {
-                addr,
-                is_write: true,
-                kind: MetaKind::Parity,
-            });
-        }
+        self.model
+            .reset_leaves(part, first_block, count, rebuild_parity, &mut mem);
         self.account(&mem);
         mem
     }
@@ -1328,57 +683,8 @@ impl SecurityEngine {
     /// tail, returned here as writeback traffic. No-op for
     /// non-isolated schemes (a single shared partition).
     pub fn repartition_caches(&mut self, live: &[bool]) -> Vec<MetaAccess> {
-        if !self.spec.isolated {
-            return Vec::new();
-        }
-        let parts = self.partitions();
-        assert_eq!(live.len(), parts, "live mask must cover every partition");
-        let ways = self.cfg.cache_ways;
-        let min_slice = ways * 64;
-        let live_count = live.iter().filter(|&&l| l).count();
-        let total = self.slice_bytes * parts;
-        let share = if live_count == 0 {
-            min_slice
-        } else {
-            let reserved = (parts - live_count) * min_slice;
-            largest_valid_capacity(total.saturating_sub(reserved) / live_count, ways)
-        };
-        let shared_parity = matches!(self.spec.parity, ParityMode::Shared(_));
-        let parity_bases = self.regions.parity_bases.clone();
         let mut mem = Vec::new();
-        // Resizing re-homes or spills lines in every partition.
-        self.tree_memo.iter_mut().for_each(|m| *m = None);
-        for (cache, kind) in [
-            (&mut self.tree_cache, MetaKind::Tree),
-            (&mut self.mac_cache, MetaKind::Mac),
-            (&mut self.parity_cache, MetaKind::Parity),
-        ] {
-            let Some(pc) = cache.as_mut() else { continue };
-            for p in 0..parts {
-                let target = if live[p] { share } else { min_slice };
-                for addr in pc.resize_partition(p, target) {
-                    let kind = if kind == MetaKind::Tree && addr >= parity_bases[p] {
-                        MetaKind::Parity
-                    } else {
-                        kind
-                    };
-                    if kind == MetaKind::Parity && shared_parity {
-                        // Spilled shared-parity diffs merge via RMW,
-                        // as in the eviction and drain paths.
-                        mem.push(MetaAccess {
-                            addr,
-                            is_write: false,
-                            kind,
-                        });
-                    }
-                    mem.push(MetaAccess {
-                        addr,
-                        is_write: true,
-                        kind,
-                    });
-                }
-            }
-        }
+        self.model.repartition_caches(live, &mut mem);
         self.account(&mem);
         mem
     }
@@ -1387,61 +693,11 @@ impl SecurityEngine {
     /// bookkeeping so dirty metadata is not silently dropped).
     pub fn drain(&mut self) -> Vec<MetaAccess> {
         let mut mem = Vec::new();
-        self.tree_memo.iter_mut().for_each(|m| *m = None);
-        // The unified tree cache can also hold fallback shared-parity
-        // lines (embedding not viable); label those as parity on the way
-        // out, matching the eviction path in `process_writebacks`.
-        if let Some(pc) = &mut self.tree_cache {
-            for part in 0..pc.len() {
-                let parity_base = self.regions.parity_bases[part];
-                for addr in pc.partition_mut(part).flush() {
-                    let kind = if addr >= parity_base {
-                        MetaKind::Parity
-                    } else {
-                        MetaKind::Tree
-                    };
-                    mem.push(MetaAccess {
-                        addr,
-                        is_write: true,
-                        kind,
-                    });
-                }
-            }
-        }
-        let mut flush = |c: &mut Option<PartitionedCache>, kind: MetaKind, rmw: bool| {
-            if let Some(pc) = c {
-                for part in 0..pc.len() {
-                    for addr in pc.partition_mut(part).flush() {
-                        if rmw {
-                            mem.push(MetaAccess {
-                                addr,
-                                is_write: false,
-                                kind,
-                            });
-                        }
-                        mem.push(MetaAccess {
-                            addr,
-                            is_write: true,
-                            kind,
-                        });
-                    }
-                }
-            }
-        };
-        flush(&mut self.mac_cache, MetaKind::Mac, false);
-        let shared = matches!(self.spec.parity, ParityMode::Shared(_));
-        flush(&mut self.parity_cache, MetaKind::Parity, shared);
-        for m in &mem {
-            if m.is_write {
-                self.stats.meta_writes[m.kind.index()] += 1;
-            } else {
-                self.stats.meta_reads[m.kind.index()] += 1;
-            }
-        }
+        self.model.drain(&mut mem);
+        self.account(&mem);
         mem
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1689,7 +945,7 @@ mod tests {
         // Shared parity: the group's line, matching the write path.
         let shared = engine(Scheme::ItSynergySharedParity);
         assert_eq!(shared.parity_group_share(), 8);
-        let group = shared.parity_group(9, 8);
+        let group = crate::model::parity_group(9, 8, shared.config().rank_stride_blocks);
         assert_eq!(
             shared.recovery_parity_addr(0, 9),
             Some(shared.parity_base(0) + (group / 8) * 64)

@@ -8,7 +8,10 @@
 //! * [`tree`] — counter-tree geometries (VAULT, Morphable, ITESP);
 //! * [`counters`] — split-counter overflow tracking (Figure 11);
 //! * [`cache`] — metadata caches, shared or per-enclave partitioned;
-//! * [`scheme`] — the design points (Figures 8 and 11 bars);
+//! * [`scheme`] — the design points (Figures 8 and 11 bars, plus the
+//!   SecDDR and IRO related-work baselines);
+//! * [`model`] — the per-scheme traffic models (tree-walk, link-level,
+//!   ORAM) behind the [`model::SchemeModel`] trait;
 //! * [`engine`] — per-access metadata traffic generation;
 //! * [`overhead`] — Table I storage-overhead calculator.
 //!
@@ -27,6 +30,7 @@ pub mod counters;
 pub mod engine;
 pub mod error;
 pub mod mac;
+pub mod model;
 pub mod overhead;
 pub mod reference;
 pub mod scheme;
@@ -41,8 +45,11 @@ pub use engine::{
 };
 pub use error::{EngineConfigError, Error};
 pub use mac::{hash_node, mac_block, mac_block_x4, siphash24, siphash24_batch, MacKey};
+pub use model::{
+    build_model, LinkLevelModel, OramLayout, OramModel, OramShadow, SchemeModel, TreeWalkModel,
+};
 pub use overhead::{table_i, OverheadRow};
 pub use reference::ReferenceEngine;
-pub use scheme::{ParityMode, Scheme, SchemeSpec, TreeKind};
+pub use scheme::{LeakageClass, ModelFamily, ParityMode, Scheme, SchemeSpec, TreeKind};
 pub use tree::{NodeId, TreeGeometry, NODE_BYTES};
 pub use verify::{IntegrityError, Snapshot, VerifiedMemory};

@@ -14,6 +14,19 @@
 //! 8. `Itesp` — shared parity embedded in the tree leaves;
 //! 9. `Syn128` / `ItSyn128` / `Itesp64` / `Itesp128` — the Morphable-
 //!    counter family of Figure 11.
+//!
+//! Two related-work baselines extend the matrix beyond the paper's
+//! tree-walk lineage (see PAPERS.md):
+//!
+//! 10. `SecDdr` — link-level authentication at the DDR interface
+//!     (arXiv:2209.00685): per-link MAC carried in the ECC transfer
+//!     plus on-chip anti-replay counters, no integrity tree at all;
+//! 11. `IrOram` — integrity + reliability on Ring ORAM
+//!     (arXiv:2012.14318): every access walks an ORAM bucket path,
+//!     with parity-based correction over the buckets.
+//!
+//! Each scheme is executed by one of three [`ModelFamily`] traffic
+//! models behind the `SchemeModel` trait (see [`crate::model`]).
 
 use serde::{Deserialize, Serialize};
 
@@ -109,11 +122,94 @@ pub enum Scheme {
     Itesp64,
     /// ITESP on Morphable counters, leaf arity 128.
     Itesp128,
+    /// SecDDR baseline: link-level MAC in the ECC transfer + on-chip
+    /// anti-replay counters at the DDR interface. No tree, no on-chip
+    /// metadata cache pressure, detection-only reliability.
+    SecDdr,
+    /// IRO baseline: integrity + reliability on Ring ORAM — bucket-path
+    /// accesses hide the address trace, bucket parity corrects.
+    IrOram,
+}
+
+/// Which traffic model executes a scheme (the `SchemeModel`
+/// implementations in [`crate::model`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// Counter-tree walk per access (every scheme of the paper's own
+    /// lineage, including the treeless `Unsecure` degenerate case).
+    TreeWalk,
+    /// Link-level authentication at the memory interface: zero extra
+    /// transactions (SecDDR).
+    LinkLevel,
+    /// ORAM bucket-path accesses with position remapping (IRO).
+    Oram,
+}
+
+/// What an off-chip observer learns — the x-axis classes of the
+/// `figpareto` sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LeakageClass {
+    /// Shared metadata structures: cross-program cache occupancy and
+    /// tree-walk timing leak between tenants (VAULT/Synergy family).
+    SharedMetadata,
+    /// Per-enclave trees and cache partitions close the metadata side
+    /// channel; the address trace itself remains visible.
+    IsolatedMetadata,
+    /// No off-chip metadata at all — only the data address trace is
+    /// observable (Unsecure, SecDDR).
+    InterfaceOnly,
+    /// ORAM: the address trace is hidden too.
+    PatternHidden,
+}
+
+impl LeakageClass {
+    /// Plot ordering: most leaky first.
+    pub fn index(self) -> usize {
+        match self {
+            LeakageClass::SharedMetadata => 0,
+            LeakageClass::IsolatedMetadata => 1,
+            LeakageClass::InterfaceOnly => 2,
+            LeakageClass::PatternHidden => 3,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            LeakageClass::SharedMetadata => "shared-metadata",
+            LeakageClass::IsolatedMetadata => "isolated-metadata",
+            LeakageClass::InterfaceOnly => "interface-only",
+            LeakageClass::PatternHidden => "pattern-hidden",
+        }
+    }
 }
 
 impl Scheme {
-    /// Every design point, in the paper's narrative order.
-    pub const ALL: [Scheme; 13] = [
+    /// Every design point, in the paper's narrative order, then the
+    /// related-work baselines.
+    pub const ALL: [Scheme; 15] = [
+        Scheme::Unsecure,
+        Scheme::Vault,
+        Scheme::ItVault,
+        Scheme::Synergy,
+        Scheme::ItSynergy,
+        Scheme::ItSynergyParityCache,
+        Scheme::ItSynergySharedParity,
+        Scheme::ItSynergySharedParityCache,
+        Scheme::Itesp,
+        Scheme::Syn128,
+        Scheme::ItSyn128,
+        Scheme::Itesp64,
+        Scheme::Itesp128,
+        Scheme::SecDdr,
+        Scheme::IrOram,
+    ];
+
+    /// The paper's own 13 design points — every scheme the scalar
+    /// [`crate::ReferenceEngine`] understands. The lockstep equivalence
+    /// oracle iterates exactly this set; the related-work baselines
+    /// (`SecDdr`, `IrOram`) are deliberately excluded because the
+    /// reference twin predates them.
+    pub const TREE_LINEAGE: [Scheme; 13] = [
         Scheme::Unsecure,
         Scheme::Vault,
         Scheme::ItVault,
@@ -257,6 +353,76 @@ impl Scheme {
                 parity: ParityMode::Embedded,
                 parity_cached: false,
             },
+            // Link-level MAC rides the ECC transfer; anti-replay
+            // counters stay on chip. Nothing is cached, nothing walks.
+            SecDdr => SchemeSpec {
+                tree: TreeKind::None,
+                isolated: false,
+                mac_inline: true,
+                parity: ParityMode::None,
+                parity_cached: false,
+            },
+            // The ORAM bucket tree is not a counter tree (TreeKind
+            // drives counter-tree geometry only); bucket parity is
+            // XOR-shared by 8 blocks, like the paper's shared parity.
+            IrOram => SchemeSpec {
+                tree: TreeKind::None,
+                isolated: false,
+                mac_inline: true,
+                parity: ParityMode::Shared(8),
+                parity_cached: false,
+            },
+        }
+    }
+
+    /// Which `SchemeModel` implementation executes this scheme.
+    pub fn family(self) -> ModelFamily {
+        match self {
+            Scheme::SecDdr => ModelFamily::LinkLevel,
+            Scheme::IrOram => ModelFamily::Oram,
+            _ => ModelFamily::TreeWalk,
+        }
+    }
+
+    /// What an off-chip observer learns under this scheme.
+    pub fn leakage_class(self) -> LeakageClass {
+        use Scheme::*;
+        match self {
+            Unsecure | SecDdr => LeakageClass::InterfaceOnly,
+            Vault | Synergy | Syn128 => LeakageClass::SharedMetadata,
+            IrOram => LeakageClass::PatternHidden,
+            _ => LeakageClass::IsolatedMetadata,
+        }
+    }
+
+    /// Off-chip storage overhead as a fraction of protected data — the
+    /// `figpareto` y-axis. Tree fraction from the geometry over the
+    /// evaluation span, MAC/parity fractions from the spec (one 8 B MAC
+    /// or parity word per 64 B block, shared parity amortized over the
+    /// group).
+    pub fn storage_overhead(self) -> f64 {
+        match self.family() {
+            ModelFamily::TreeWalk => {
+                let spec = self.spec();
+                let tree = spec.tree.geometry(1 << 24).map_or(0.0, |g| {
+                    g.storage_bytes() as f64 / ((1u64 << 24) * 64) as f64
+                });
+                let mac = if spec.mac_inline { 0.0 } else { 0.125 };
+                let parity = match spec.parity {
+                    ParityMode::None => 0.0,
+                    ParityMode::PerBlock => 0.125,
+                    ParityMode::Shared(share) => 0.125 / share as f64,
+                    ParityMode::Embedded => 0.0, // rides in the leaf
+                };
+                tree + mac + parity
+            }
+            // MAC displaces the ECC redundancy on the link; counters
+            // never leave the chip.
+            ModelFamily::LinkLevel => 0.0,
+            // The bucket tree doubles the footprint (2N-1 buckets for N
+            // blocks of data at the leaves' slots), plus one parity
+            // word per 8-bucket group.
+            ModelFamily::Oram => 1.0 + 0.125 / 8.0,
         }
     }
 
@@ -277,6 +443,8 @@ impl Scheme {
             ItSyn128 => "ITSYN128",
             Itesp64 => "ITESP64",
             Itesp128 => "ITESP128",
+            SecDdr => "SECDDR",
+            IrOram => "IRORAM",
         }
     }
 }
@@ -372,5 +540,101 @@ mod tests {
             Err(crate::Error::UnknownScheme(l)) => assert_eq!(l, "NOT-A-SCHEME"),
             other => panic!("expected UnknownScheme, got {other:?}"),
         }
+    }
+
+    /// Property: for every scheme, every single-character mutation of
+    /// its label (append, truncate, or substitute) either stays a valid
+    /// label of the *same* scheme (a case flip) or is rejected with
+    /// [`crate::Error::UnknownScheme`] whose message enumerates all 15
+    /// valid labels — near-misses never silently alias to a neighbor.
+    #[test]
+    fn label_near_misses_are_rejected_with_the_full_menu() {
+        let check_reject = |cand: &str| match Scheme::from_label(cand) {
+            Ok(s) => assert!(
+                s.label().eq_ignore_ascii_case(cand),
+                "near-miss {cand:?} aliased to {s:?}"
+            ),
+            Err(e @ crate::Error::UnknownScheme(_)) => {
+                let msg = e.to_string();
+                assert!(msg.contains(&format!("{cand:?}")), "{msg}");
+                for s in Scheme::ALL {
+                    assert!(msg.contains(s.label()), "missing {} in: {msg}", s.label());
+                }
+            }
+            Err(other) => panic!("expected UnknownScheme for {cand:?}, got {other:?}"),
+        };
+        for s in Scheme::ALL {
+            let label = s.label();
+            // Appends.
+            for ch in ['2', 'X', ' ', '$'] {
+                check_reject(&format!("{label}{ch}"));
+            }
+            // Truncation.
+            check_reject(&label[..label.len() - 1]);
+            // Single-character substitutions at every position.
+            for i in 0..label.len() {
+                for ch in ['Q', '-', '0'] {
+                    let mut cand = label.as_bytes().to_vec();
+                    cand[i] = ch as u8;
+                    check_reject(std::str::from_utf8(&cand).unwrap());
+                }
+            }
+        }
+        // The named near-misses from the issue, explicitly.
+        for cand in ["SECDDR2", "IR-ORAM", "ITESP_", "SYNERGY64"] {
+            assert!(
+                matches!(
+                    Scheme::from_label(cand),
+                    Err(crate::Error::UnknownScheme(_))
+                ),
+                "{cand:?} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_lineage_is_all_minus_the_baselines() {
+        assert_eq!(Scheme::ALL.len(), 15);
+        assert_eq!(Scheme::TREE_LINEAGE.len(), 13);
+        assert_eq!(&Scheme::ALL[..13], &Scheme::TREE_LINEAGE[..]);
+        for s in Scheme::TREE_LINEAGE {
+            assert_eq!(s.family(), ModelFamily::TreeWalk);
+        }
+        assert_eq!(Scheme::SecDdr.family(), ModelFamily::LinkLevel);
+        assert_eq!(Scheme::IrOram.family(), ModelFamily::Oram);
+    }
+
+    #[test]
+    fn leakage_classes_follow_the_taxonomy() {
+        assert_eq!(Scheme::Vault.leakage_class(), LeakageClass::SharedMetadata);
+        assert_eq!(
+            Scheme::Itesp.leakage_class(),
+            LeakageClass::IsolatedMetadata
+        );
+        assert_eq!(Scheme::SecDdr.leakage_class(), LeakageClass::InterfaceOnly);
+        assert_eq!(
+            Scheme::Unsecure.leakage_class(),
+            LeakageClass::InterfaceOnly
+        );
+        assert_eq!(Scheme::IrOram.leakage_class(), LeakageClass::PatternHidden);
+    }
+
+    #[test]
+    fn storage_overheads_are_ordered_sensibly() {
+        // No off-chip metadata at the extremes of the security axis.
+        assert_eq!(Scheme::Unsecure.storage_overhead(), 0.0);
+        assert_eq!(Scheme::SecDdr.storage_overhead(), 0.0);
+        // VAULT pays a separate MAC structure on top of its tree.
+        assert!(Scheme::Vault.storage_overhead() > Scheme::Itesp.storage_overhead());
+        // Embedding parity in the leaves is far cheaper than a
+        // per-block parity region, and lands within a rounding error
+        // of the shared-parity region it replaces (the paper's win is
+        // parity *traffic*, not raw bytes).
+        assert!(Scheme::Itesp.storage_overhead() < Scheme::ItSynergy.storage_overhead());
+        let itesp = Scheme::Itesp.storage_overhead();
+        let shared = Scheme::ItSynergySharedParity.storage_overhead();
+        assert!((itesp - shared).abs() / shared < 0.05);
+        // ORAM doubles the footprint.
+        assert!(Scheme::IrOram.storage_overhead() > 1.0);
     }
 }

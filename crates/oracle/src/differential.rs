@@ -30,12 +30,28 @@
 //!    counter must equal the harness's shadow write count, and reads
 //!    must return the last written data with the integrity check
 //!    passing.
+//!
+//! The analytic checks dispatch on [`Scheme::family`]:
+//!
+//! * **Tree-walk** schemes get checks 1–4 above, unchanged from the
+//!   original 13-scheme oracle;
+//! * **link-level** (SecDDR) schemes must emit *no* traffic at all —
+//!   zero transactions, case A, zero stall — every single access;
+//! * **ORAM** (IRO) schemes are cross-checked against an independent
+//!   [`OramShadow`] state twin that predicts the exact bucket-path and
+//!   parity transaction list of every access, plus containment of every
+//!   address in the engine's declared
+//!   [`region_span`](SecurityEngine::region_span).
+//!
+//! Check 5 (the functional memory) runs for every family: data
+//! round-trips and monotone write counters are scheme-independent
+//! obligations.
 
 use std::collections::HashMap;
 
 use itesp_core::{
-    EngineConfig, MacKey, MetaKind, MissCase, OverflowTracker, ParityMode, Scheme, SchemeSpec,
-    SecurityEngine, TreeGeometry, VerifiedMemory,
+    EngineConfig, MacKey, MetaKind, MissCase, ModelFamily, OramShadow, OverflowTracker, ParityMode,
+    Scheme, SchemeSpec, SecurityEngine, TreeGeometry, VerifiedMemory,
 };
 
 const BLOCK_BYTES: u64 = 64;
@@ -44,8 +60,12 @@ const BLOCK_BYTES: u64 = 64;
 pub struct DifferentialHarness {
     scheme: Scheme,
     spec: SchemeSpec,
+    family: ModelFamily,
     engine: SecurityEngine,
     geo: Option<TreeGeometry>,
+    /// Independent ORAM state twin (ORAM family only): predicts the
+    /// exact transaction list of every access.
+    shadow: Option<OramShadow>,
     /// One functional memory per enclave (isolated schemes give each
     /// enclave its own tree; for shared schemes the enclaves still own
     /// disjoint data blocks here, which keeps the counter bookkeeping
@@ -74,10 +94,12 @@ impl DifferentialHarness {
     /// (e.g. a rank stride that defeats parity embedding).
     pub fn with_config(scheme: Scheme, cfg: EngineConfig, blocks: u64) -> Self {
         let engine = SecurityEngine::new(cfg);
+        let family = scheme.family();
         let geo = engine.geometry().cloned();
         let overflow = geo
             .as_ref()
             .map(|g| OverflowTracker::new(g.local_counter_bits(), g.leaf_arity()));
+        let shadow = (family == ModelFamily::Oram).then(|| OramShadow::new(&cfg));
         let vms = (0..cfg.enclaves)
             .map(|e| {
                 let key = MacKey {
@@ -90,8 +112,10 @@ impl DifferentialHarness {
         DifferentialHarness {
             scheme,
             spec: scheme.spec(),
+            family,
             engine,
             geo,
+            shadow,
             vms,
             counts: HashMap::new(),
             data: HashMap::new(),
@@ -126,6 +150,89 @@ impl DifferentialHarness {
         let paddr = block * BLOCK_BYTES;
         let outcome = self.engine.on_access(enclave, paddr, block, is_write);
 
+        match self.family {
+            ModelFamily::TreeWalk => self.check_tree_walk(part, block, is_write, &outcome, &ctx),
+            ModelFamily::LinkLevel => {
+                // SecDDR's entire claim is *zero* memory-side cost:
+                // the MAC rides the ECC pins and the anti-replay
+                // counters never leave the chip. Any transaction, any
+                // stall, or any classification other than case A is a
+                // model bug.
+                assert!(
+                    outcome.mem.is_empty(),
+                    "{}",
+                    ctx("link-level scheme emitted memory traffic")
+                );
+                assert_eq!(outcome.case, MissCase::A, "{}", ctx("link-level case != A"));
+                assert_eq!(
+                    outcome.stall_cycles,
+                    0,
+                    "{}",
+                    ctx("link-level scheme stalled")
+                );
+            }
+            ModelFamily::Oram => {
+                // The shadow twin steps its own position map, stash
+                // schedule, and parity state: the engine must emit the
+                // byte-exact transaction list the shadow predicts.
+                let shadow = self.shadow.as_mut().expect("ORAM family has a shadow");
+                let expected_case = shadow.expected_case();
+                let expected = shadow.expect_access(block);
+                assert_eq!(
+                    outcome.mem.as_slice(),
+                    expected,
+                    "{}",
+                    ctx("ORAM traffic diverged from the shadow's prediction")
+                );
+                assert_eq!(
+                    outcome.case,
+                    expected_case,
+                    "{}",
+                    ctx("ORAM miss case diverged from the shadow")
+                );
+                assert_eq!(
+                    outcome.stall_cycles,
+                    0,
+                    "{}",
+                    ctx("ORAM access reported an overflow stall")
+                );
+                for m in &outcome.mem {
+                    self.assert_in_region(m.kind, m.addr, part, &ctx);
+                }
+            }
+        }
+
+        // -- 5. Functional memory ----------------------------------------
+        let vm = &mut self.vms[enclave];
+        if is_write {
+            vm.write(block, [fill; 64]);
+            let count = self.counts.entry((enclave, block)).or_insert(0);
+            *count += 1;
+            self.data.insert((enclave, block), fill);
+            assert_eq!(
+                vm.snapshot(block).counter,
+                *count,
+                "{}",
+                ctx("functional write counter diverged from shadow count")
+            );
+        } else if let Some(&expect) = self.data.get(&(enclave, block)) {
+            let got = vm
+                .read(block)
+                .unwrap_or_else(|e| panic!("{}", ctx(&format!("integrity check failed: {e:?}"))));
+            assert_eq!(got, [expect; 64], "{}", ctx("read returned stale data"));
+        }
+    }
+
+    /// Checks 1–4 for the tree-walk family — unchanged from the
+    /// original 13-scheme oracle.
+    fn check_tree_walk(
+        &mut self,
+        part: usize,
+        block: u64,
+        is_write: bool,
+        outcome: &itesp_core::AccessOutcome,
+        ctx: &dyn Fn(&str) -> String,
+    ) {
         // -- 1. Tree-walk footprint --------------------------------------
         // The engine emits the walk's miss prefix as the leading run of
         // tree reads, before any writeback or MAC/parity traffic.
@@ -233,44 +340,19 @@ impl DifferentialHarness {
             "{}",
             ctx("overflow stall cycles diverged from the shadow tracker")
         );
-
-        // -- 5. Functional memory ----------------------------------------
-        let vm = &mut self.vms[enclave];
-        if is_write {
-            vm.write(block, [fill; 64]);
-            let count = self.counts.entry((enclave, block)).or_insert(0);
-            *count += 1;
-            self.data.insert((enclave, block), fill);
-            assert_eq!(
-                vm.snapshot(block).counter,
-                *count,
-                "{}",
-                ctx("functional write counter diverged from shadow count")
-            );
-        } else if let Some(&expect) = self.data.get(&(enclave, block)) {
-            let got = vm
-                .read(block)
-                .unwrap_or_else(|e| panic!("{}", ctx(&format!("integrity check failed: {e:?}"))));
-            assert_eq!(got, [expect; 64], "{}", ctx("read returned stale data"));
-        }
     }
 
-    /// `(base, size)` of partition `part`'s region for `kind`.
+    /// `(base, size)` of partition `part`'s region for `kind` — the
+    /// size comes straight from the model's own declaration, so the
+    /// containment check holds for every family (tree storage bytes,
+    /// MAC/parity stripes, ORAM bucket tree, or zero for link-level).
     fn region(&self, kind: MetaKind, part: usize) -> (u64, u64) {
-        let cfg = self.engine.config();
-        let span = if self.spec.isolated {
-            cfg.enclave_capacity
-        } else {
-            cfg.data_capacity
+        let base = match kind {
+            MetaKind::Tree => self.engine.tree_base(part),
+            MetaKind::Mac => self.engine.mac_base(part),
+            MetaKind::Parity => self.engine.parity_base(part),
         };
-        match kind {
-            MetaKind::Tree => (
-                self.engine.tree_base(part),
-                self.geo.as_ref().map_or(0, TreeGeometry::storage_bytes),
-            ),
-            MetaKind::Mac => (self.engine.mac_base(part), span / 8),
-            MetaKind::Parity => (self.engine.parity_base(part), span / 8),
-        }
+        (base, self.engine.region_span(kind))
     }
 
     fn in_region(&self, kind: MetaKind, addr: u64, part: usize) -> bool {

@@ -12,7 +12,9 @@
 //! 3. [`faults`] — a randomized chipkill fault-injection campaign whose
 //!    outcomes are checked against the Table II analytical classes.
 //! 4. [`seed`] — seed printing / replay (`ITESP_TEST_SEED`) and the
-//!    checked-in regression corpus (`corpus/seeds.txt`).
+//!    checked-in regression corpus (`corpus/seeds.txt`); [`filter`]
+//!    narrows any scheme-parameterized test to a label subset via
+//!    `ITESP_SCHEME_ONLY` (CI's scheme-matrix job).
 //!
 //! The crate is test support: production crates must not depend on it
 //! (it depends on all of them). See EXPERIMENTS.md § "Oracle test
@@ -20,6 +22,7 @@
 
 pub mod differential;
 pub mod faults;
+pub mod filter;
 pub mod protocol;
 pub mod seed;
 pub mod workload;
@@ -28,6 +31,7 @@ pub use differential::DifferentialHarness;
 pub use faults::{
     classify, exhaustive_single_faults, fault_label, random_word, TrialOutcome, TrialWord,
 };
+pub use filter::{scheme_enabled, schemes_under_test};
 pub use protocol::{ProtocolChecker, ProtocolViolation};
 pub use seed::{seeds_for, with_seeds};
 pub use workload::{addr_for, run_arrivals, run_stream, Arrival, Scheduler, WorkloadRun};

@@ -6,27 +6,16 @@
 //! overflow events, and region containment on every access (see
 //! `itesp_oracle::differential` for the full assertion list).
 
-use itesp_core::{EngineConfig, Scheme};
-use itesp_oracle::{with_seeds, DifferentialHarness};
+use itesp_core::{EngineConfig, MetaKind, MissCase, Scheme, SecurityEngine};
+use itesp_oracle::{schemes_under_test, with_seeds, DifferentialHarness};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Every design point in `core::scheme`.
-const ALL_SCHEMES: [Scheme; 13] = [
-    Scheme::Unsecure,
-    Scheme::Vault,
-    Scheme::ItVault,
-    Scheme::Synergy,
-    Scheme::ItSynergy,
-    Scheme::ItSynergyParityCache,
-    Scheme::ItSynergySharedParity,
-    Scheme::ItSynergySharedParityCache,
-    Scheme::Itesp,
-    Scheme::Syn128,
-    Scheme::ItSyn128,
-    Scheme::Itesp64,
-    Scheme::Itesp128,
-];
+/// Every design point in `core::scheme`, including the SecDDR and IRO
+/// related-work baselines, narrowed by `ITESP_SCHEME_ONLY` when set.
+fn all_schemes() -> Vec<Scheme> {
+    schemes_under_test(Scheme::ALL)
+}
 
 /// Blocks per enclave in the functional memory. Small enough that the
 /// stream revisits blocks (exercising counters, cache hits, and
@@ -56,8 +45,23 @@ fn drive(scheme: Scheme, seed: u64, accesses: usize) {
 #[test]
 fn differential_random_streams_all_schemes() {
     with_seeds("differential_random_streams_all_schemes", 6, |seed| {
-        for scheme in ALL_SCHEMES {
+        for scheme in all_schemes() {
             drive(scheme, seed, 1500);
+        }
+    });
+}
+
+/// The acceptance matrix: ≥ 200 independent randomized streams per
+/// scheme, all 15 schemes (shorter streams than the main sweep — the
+/// point is seed diversity, not stream depth; boundary effects like
+/// ORAM eviction epochs and cache warm-up land at different offsets in
+/// every stream).
+#[test]
+fn differential_stream_matrix() {
+    with_seeds("differential_stream_matrix", 200, |seed| {
+        for (i, scheme) in all_schemes().into_iter().enumerate() {
+            // Decorrelate the per-scheme streams within one seed.
+            drive(scheme, seed ^ ((i as u64) << 56), 220);
         }
     });
 }
@@ -67,6 +71,9 @@ fn differential_random_streams_all_schemes() {
 /// oracle (region containment, walk prefixes, counter agreement).
 #[test]
 fn differential_itesp_embedding_fallback() {
+    if !itesp_oracle::scheme_enabled(Scheme::Itesp) {
+        return;
+    }
     with_seeds("differential_itesp_embedding_fallback", 4, |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut cfg = EngineConfig::paper_default(Scheme::Itesp);
@@ -97,12 +104,12 @@ fn differential_itesp_embedding_fallback() {
 /// tracker exactly (checked per access inside the harness).
 #[test]
 fn differential_overflow_heavy_writes() {
-    for scheme in [
+    for scheme in schemes_under_test([
         Scheme::Itesp,
         Scheme::Itesp64,
         Scheme::Itesp128,
         Scheme::Vault,
-    ] {
+    ]) {
         let mut harness = DifferentialHarness::new(scheme, BLOCKS);
         for i in 0..2000u64 {
             // Hammer a handful of blocks under the same few leaves.
@@ -121,7 +128,7 @@ fn differential_overflow_heavy_writes() {
 /// the address space with reads verifying after writes.
 #[test]
 fn differential_sequential_sweep() {
-    for scheme in ALL_SCHEMES {
+    for scheme in all_schemes() {
         let mut harness = DifferentialHarness::new(scheme, BLOCKS);
         for block in 0..512u64 {
             harness.access((block % 4) as usize, block, true, (block % 256) as u8);
@@ -131,4 +138,90 @@ fn differential_sequential_sweep() {
         }
         harness.finish();
     }
+}
+
+/// SecDDR's defining property, checked end-to-end: a full randomized
+/// stream leaves the metadata traffic counters at exactly zero and
+/// classifies every access as case A — the link MAC and anti-replay
+/// counters never touch memory.
+#[test]
+fn differential_secddr_never_touches_memory() {
+    if !itesp_oracle::scheme_enabled(Scheme::SecDdr) {
+        return;
+    }
+    with_seeds("differential_secddr_never_touches_memory", 3, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut harness = DifferentialHarness::new(Scheme::SecDdr, BLOCKS);
+        for _ in 0..1000 {
+            let enclave = rng.gen_range(0usize..4);
+            let block = rng.gen_range(0u64..BLOCKS);
+            harness.access(enclave, block, rng.gen_bool(0.5), rng.gen::<u8>());
+        }
+        let stats = harness.engine().stats().clone();
+        harness.finish();
+        assert_eq!(stats.meta_reads, [0; 3], "SecDDR read metadata");
+        assert_eq!(stats.meta_writes, [0; 3], "SecDDR wrote metadata");
+        assert_eq!(stats.overflows, 0);
+        assert_eq!(stats.case_counts[MissCase::A.index()], 1000);
+        assert_eq!(stats.case_counts.iter().sum::<u64>(), 1000);
+    });
+}
+
+/// IRO's traffic shape, checked end-to-end on top of the per-access
+/// shadow lockstep: bucket-path reads on every access, path writebacks
+/// and parity read-modify-writes on every eviction epoch.
+#[test]
+fn differential_iroram_paths_and_eviction_parity() {
+    if !itesp_oracle::scheme_enabled(Scheme::IrOram) {
+        return;
+    }
+    with_seeds("differential_iroram_paths_and_eviction_parity", 3, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut harness = DifferentialHarness::new(Scheme::IrOram, BLOCKS);
+        for _ in 0..600 {
+            let enclave = rng.gen_range(0usize..4);
+            let block = rng.gen_range(0u64..BLOCKS);
+            harness.access(enclave, block, rng.gen_bool(0.5), rng.gen::<u8>());
+        }
+        let stats = harness.engine().stats().clone();
+        harness.finish();
+        let t = MetaKind::Tree.index();
+        let p = MetaKind::Parity.index();
+        assert!(stats.meta_reads[t] > 0, "no bucket-path reads");
+        assert!(stats.meta_writes[t] > 0, "no eviction path writebacks");
+        assert!(stats.meta_reads[p] > 0, "no parity read half of the RMW");
+        assert!(stats.meta_writes[p] > 0, "no parity write half of the RMW");
+        // Parity RMWs are symmetric: every group read is written back.
+        assert_eq!(stats.meta_reads[p], stats.meta_writes[p]);
+        // Inline MAC: never separate MAC traffic.
+        assert_eq!(stats.meta_reads[MetaKind::Mac.index()], 0);
+    });
+}
+
+/// IRO's leakage class (`PatternHidden`) has a checkable consequence:
+/// the transaction list depends only on the block sequence, never on
+/// the read/write flag. Two engines fed the same blocks — one as all
+/// reads, one as all writes — must emit byte-identical traffic.
+#[test]
+fn differential_iroram_traffic_ignores_read_write_flag() {
+    if !itesp_oracle::scheme_enabled(Scheme::IrOram) {
+        return;
+    }
+    with_seeds(
+        "differential_iroram_traffic_ignores_read_write_flag",
+        3,
+        |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cfg = EngineConfig::paper_default(Scheme::IrOram);
+            let mut reader = SecurityEngine::new(cfg);
+            let mut writer = SecurityEngine::new(cfg);
+            for _ in 0..800 {
+                let block = rng.gen_range(0u64..BLOCKS);
+                let r = reader.on_access(0, block * 64, block, false);
+                let w = writer.on_access(0, block * 64, block, true);
+                assert_eq!(r.mem, w.mem, "read/write traffic diverged");
+                assert_eq!(r.case, w.case);
+            }
+        },
+    );
 }

@@ -52,11 +52,15 @@ fn gen_stream(rng: &mut StdRng, enclaves: usize) -> Vec<AccessRequest> {
 }
 
 /// Optimized engine (memo on) vs the scalar reference twin, access by
-/// access, over every scheme in the paper.
+/// access, over every tree-lineage scheme in the paper. The reference
+/// is deliberately a twin of the *original* 13-scheme access path: it
+/// knows nothing of the SecDDR/IRO baselines, so the lockstep sweep is
+/// pinned to [`Scheme::TREE_LINEAGE`] (the related-work models get
+/// their own shadow oracles in the differential harness).
 #[test]
 fn optimized_engine_matches_scalar_reference() {
     with_seeds("optimized_engine_matches_scalar_reference", 3, |seed| {
-        for scheme in Scheme::ALL {
+        for scheme in Scheme::TREE_LINEAGE {
             let cfg = EngineConfig::paper_default(scheme);
             let mut rng = StdRng::seed_from_u64(seed);
             let stream = gen_stream(&mut rng, cfg.enclaves);
@@ -85,6 +89,8 @@ fn optimized_engine_matches_scalar_reference() {
 #[test]
 fn batched_access_matches_sequential() {
     with_seeds("batched_access_matches_sequential", 3, |seed| {
+        // Engine-vs-itself, no reference involved: runs over all 15
+        // schemes so the burst API is proven for the new models too.
         for scheme in Scheme::ALL {
             let cfg = EngineConfig::paper_default(scheme);
             let mut rng = StdRng::seed_from_u64(seed ^ 0xB0B5);

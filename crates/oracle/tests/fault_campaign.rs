@@ -11,12 +11,15 @@
 //! Knobs: `ITESP_FAULT_TRIALS` scales the randomized trial count,
 //! `ITESP_TEST_SEED` replays one failing seed (printed on failure).
 
+use itesp_core::mac::mac_block;
+use itesp_core::{EngineConfig, Scheme, SecurityEngine};
 use itesp_oracle::{
-    classify, exhaustive_single_faults, fault_label, random_word, with_seeds, TrialOutcome,
+    classify, exhaustive_single_faults, fault_label, random_word, scheme_enabled, with_seeds,
+    TrialOutcome, TrialWord,
 };
 use itesp_reliability::{
-    column_parity, correct_shared, inject, shared_parity, table_ii, Correction, Design, Fault,
-    FaultStream, ReliabilityParams, TOTAL_CHIPS,
+    column_parity, correct_shared, inject, shared_parity, table_ii, CodeWord, Correction, Design,
+    Fault, FaultStream, ReliabilityParams, TOTAL_CHIPS,
 };
 use rand::Rng;
 
@@ -202,6 +205,155 @@ fn fault_campaign_shared_parity_cross_rank() {
                         corrupted, target.word,
                         "cross-rank double error passed clean"
                     )
+                }
+            }
+        }
+    });
+}
+
+/// SecDDR's decode is the link MAC alone: no column parity was stored
+/// (the MAC displaced it in the ECC field), so there is nothing to
+/// reconstruct from. A corrupted transfer fails the MAC check — the
+/// fault is *detected* — but no candidate-chip loop can run:
+/// detect-but-cannot-locate, the DUE class, for every single one of the
+/// 27 exhaustive (fault class × chip) patterns and every randomized
+/// trial. Never Corrected, and (MAC-collision scaled) never Silent.
+fn secddr_decode(original: &CodeWord, trial: &TrialWord) -> TrialOutcome {
+    let mac_ok =
+        mac_block(&trial.key, &trial.word.data, trial.counter, trial.addr) == trial.word.mac();
+    match (mac_ok, trial.word == *original) {
+        // Clean pass (injection XOR-cancelled): benign.
+        (true, true) => TrialOutcome::Corrected {
+            chip: u8::MAX,
+            mac_trials: 0,
+        },
+        // MAC collision on corrupted data: the SDC class.
+        (true, false) => TrialOutcome::Silent,
+        // MAC mismatch: detected, and that is where it ends.
+        (false, _) => TrialOutcome::Detected,
+    }
+}
+
+#[test]
+fn fault_campaign_secddr_detects_but_cannot_locate() {
+    if !scheme_enabled(Scheme::SecDdr) {
+        return;
+    }
+    // The engine agrees with the analytic class: detection without any
+    // correction resource (the sim's RAS loop reads exactly these).
+    let engine = SecurityEngine::new(EngineConfig::paper_default(Scheme::SecDdr));
+    assert!(engine.detects_errors());
+    assert_eq!(engine.parity_group_share(), 0);
+    assert_eq!(engine.recovery_parity_addr(0, 0), None);
+
+    with_seeds(
+        "fault_campaign_secddr_detects_but_cannot_locate",
+        4,
+        |seed| {
+            let mut stream = FaultStream::seeded(seed);
+            let sweep: Vec<Fault> = exhaustive_single_faults(
+                stream.rng().gen_range(0..8),
+                stream.rng().gen_range(0..8),
+            )
+            .into_iter()
+            .chain((0..trials() / 2).map(|_| stream.next_fault()))
+            .collect();
+            for fault in sweep {
+                let original = random_word(stream.rng());
+                let mut trial = original;
+                inject(&mut trial.word, fault, stream.rng());
+                // Skip the measure-zero XOR-cancelled injections: the class
+                // under test is "corrupted word reaches the decoder".
+                if trial.word == original.word {
+                    continue;
+                }
+                assert_eq!(
+                    secddr_decode(&original.word, &trial),
+                    TrialOutcome::Detected,
+                    "{}: SecDDR must detect-but-not-locate (DUE)",
+                    fault_label(&fault)
+                );
+            }
+        },
+    );
+}
+
+/// IRO's reliability story: one XOR parity word per 8-bucket group.
+/// With clean companion buckets, a single-chip fault in one bucket is
+/// corrected through the recovered group parity (the same decode loop
+/// ITESP's shared parity uses); with a second corrupted bucket in the
+/// group, the decode must refuse or restore exactly — never fabricate.
+#[test]
+fn fault_campaign_iroram_bucket_parity_corrects() {
+    if !scheme_enabled(Scheme::IrOram) {
+        return;
+    }
+    // Engine-side agreement: an 8-wide parity group, with a recovery
+    // address inside the model's parity region.
+    let engine = SecurityEngine::new(EngineConfig::paper_default(Scheme::IrOram));
+    assert!(engine.detects_errors());
+    assert_eq!(engine.parity_group_share(), 8);
+    let addr = engine
+        .recovery_parity_addr(0, 0)
+        .expect("IRO block has a recovery parity line");
+    assert!(addr >= engine.parity_base(0));
+
+    with_seeds("fault_campaign_iroram_bucket_parity_corrects", 4, |seed| {
+        let mut stream = FaultStream::seeded(seed);
+        for _ in 0..trials() / 4 {
+            // One 8-bucket parity group: the target bucket word plus 7
+            // companions.
+            let target = random_word(stream.rng());
+            let companions: Vec<CodeWord> =
+                (0..7).map(|_| random_word(stream.rng()).word).collect();
+            let group = shared_parity(companions.iter().chain(std::iter::once(&target.word)));
+            let fault = stream.next_fault();
+            let mut corrupted = target.word;
+            inject(&mut corrupted, fault, stream.rng());
+
+            let (correction, fixed) = correct_shared(
+                &corrupted,
+                group,
+                &companions,
+                &target.key,
+                target.counter,
+                target.addr,
+            );
+            match correction {
+                Correction::Corrected { chip, mac_trials } => {
+                    assert_eq!(usize::from(chip), fault.chip(), "{}", fault_label(&fault));
+                    assert_eq!(mac_trials, TOTAL_CHIPS as u8);
+                    assert_eq!(fixed, target.word, "bucket-parity correction wrong");
+                }
+                Correction::Clean => {
+                    assert_eq!(corrupted, target.word, "silently passed a corrupted bucket")
+                }
+                other => panic!(
+                    "{}: bucket-parity decode must correct, got {other:?}",
+                    fault_label(&fault)
+                ),
+            }
+
+            // Second fault in the same group: parity is poisoned.
+            let mut bad = companions.clone();
+            let victim = stream.rng().gen_range(0..bad.len());
+            let second = stream.next_fault();
+            inject(&mut bad[victim], second, stream.rng());
+            let (correction, fixed) = correct_shared(
+                &corrupted,
+                group,
+                &bad,
+                &target.key,
+                target.counter,
+                target.addr,
+            );
+            match correction {
+                Correction::Ambiguous | Correction::Uncorrectable => {}
+                Correction::Corrected { .. } => {
+                    assert_eq!(fixed, target.word, "double-bucket error miscorrected (SDC)")
+                }
+                Correction::Clean => {
+                    assert_eq!(corrupted, target.word, "double-bucket error passed clean")
                 }
             }
         }

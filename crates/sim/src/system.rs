@@ -12,7 +12,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use itesp_core::{EngineConfig, MetaAccess, SecurityEngine, TreeKind};
+use itesp_core::{EngineConfig, MetaAccess, SecurityEngine};
 use itesp_dram::{Completion, DramConfig, IssuedCommand, MemorySystem, RequestId};
 use itesp_trace::{ChurnWorkload, MemOp, MultiProgram, PhysRecord, PAGE_BYTES};
 
@@ -203,7 +203,10 @@ impl System {
                 rc,
                 engine.parity_group_share(),
                 cfg.engine.rank_stride_blocks,
-                engine.spec().tree != TreeKind::None,
+                // Detection is a model property, not a tree property:
+                // SecDDR detects through the link MAC with no tree at
+                // all (its faults become DUEs, not SDCs).
+                engine.detects_errors(),
             )
         });
         let leaf_maps = vec![LeafMap::default(); cores.len()];

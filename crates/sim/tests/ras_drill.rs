@@ -151,6 +151,40 @@ fn detection_only_scheme_counts_due_without_halt() {
 }
 
 #[test]
+fn secddr_chip_kill_is_detected_but_uncorrectable() {
+    let mp = workload();
+    // SecDDR has no tree at all, yet its link MAC detects every
+    // corrupted transfer — and, with no parity structure, can never
+    // correct one: all dead-rank reads are DUEs, none silent. (Before
+    // detection became a model property this scheme would have been
+    // misclassified as MAC-less and suffered SDCs.)
+    let r = System::new(config(Scheme::SecDdr, Some(chip_kill(26))), &mp).run();
+    let s = &r.ras;
+    assert!(s.due_events > 0, "dead-rank reads must surface as DUEs");
+    assert_eq!(s.detections, s.due_events);
+    assert_eq!(s.sdc_events, 0, "the link MAC leaves nothing silent");
+    assert_eq!(s.corrections, 0);
+    assert_eq!(s.parity_reads + s.companion_reads + s.scrub_writebacks, 0);
+}
+
+#[test]
+fn iroram_chip_kill_corrects_through_bucket_parity() {
+    let mp = workload();
+    // IRO: every detected dead-rank read recovers through the 8-wide
+    // bucket parity group — one parity fetch plus seven companion
+    // reads per corrected block, like ITESP's shared-parity decode.
+    let r = System::new(config(Scheme::IrOram, Some(chip_kill(27))), &mp).run();
+    let s = &r.ras;
+    assert_eq!(s.drills_executed, 1);
+    assert!(s.corrections > 0, "dead-rank reads must trigger recovery");
+    assert_eq!(s.detections, s.corrections);
+    assert_eq!(s.uncorrected(), 0, "no SDC, no DUE: {s:?}");
+    assert_eq!(s.parity_reads, s.corrections);
+    assert_eq!(s.companion_reads, 7 * s.corrections);
+    assert_eq!(s.scrub_writebacks, s.corrections);
+}
+
+#[test]
 fn unsecure_scheme_suffers_silent_corruption() {
     let mp = workload();
     let r = System::new(config(Scheme::Unsecure, Some(chip_kill(24))), &mp).run();
