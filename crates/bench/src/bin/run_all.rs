@@ -37,6 +37,7 @@ const TARGETS: &[&str] = &[
     "figras",
     "figchurn",
     "figpareto",
+    "figrecover",
 ];
 
 #[derive(Serialize)]

@@ -35,8 +35,12 @@ use std::path::{Path, PathBuf};
 pub const CHECKPOINT_VERSION: u64 = 1;
 
 /// Write `contents` to `path` crash-safely: temp file in the same
-/// directory (same filesystem, so the rename is atomic), flushed, then
-/// renamed over the destination.
+/// directory (same filesystem, so the rename is atomic), fsync'd, then
+/// renamed over the destination, then the parent directory fsync'd.
+/// The rename alone orders the data against the name, but the new
+/// directory entry is not durable until the directory itself reaches
+/// disk — a power cut after rename-without-dir-fsync can resurface the
+/// old file (or nothing) on reboot.
 pub(crate) fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     {
@@ -44,7 +48,12 @@ pub(crate) fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
         file.write_all(contents.as_bytes())?;
         file.sync_all()?;
     }
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
 }
 
 /// The run-shape fingerprint in the header line.

@@ -32,7 +32,7 @@ use itesp_trace::{MultiProgram, PAGE_BYTES};
 /// Memory operations per program for quick regeneration runs.
 pub const DEFAULT_OPS: usize = 20_000;
 
-const USAGE: &str = "[ops] [--jobs N] [--resume] [--timeout SECONDS] [--retries N] \
+const USAGE: &str = "[ops] [--jobs N] [--resume] [--recover] [--timeout SECONDS] [--retries N] \
                      [--job-only I] [--target-timeout SECONDS] [--target-retries N]";
 
 /// Command-line arguments shared by every regenerator binary: an
@@ -44,6 +44,7 @@ struct CliArgs {
     ops: Option<String>,
     jobs: Option<String>,
     resume: bool,
+    recover: bool,
     timeout: Option<String>,
     retries: Option<String>,
     job_only: Option<String>,
@@ -83,6 +84,8 @@ fn parse_cli() -> CliArgs {
             out.jobs = Some(v.to_owned());
         } else if a == "--resume" {
             out.resume = true;
+        } else if a == "--recover" {
+            out.recover = true;
         } else if a == "--timeout" {
             out.timeout = Some(value_of(&a, args.next()));
         } else if let Some(v) = a.strip_prefix("--timeout=") {
@@ -187,6 +190,24 @@ pub fn resume_from_env() -> bool {
         Some("1") => true,
         Some(v) => {
             eprintln!("error: invalid ITESP_RESUME {v:?} (expected 0 or 1)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Resume a crash-recovery-enabled run from the snapshots in
+/// `ITESP_SNAPSHOT_DIR` instead of starting from cycle zero: the
+/// `--recover` flag or `ITESP_RECOVER=1`. Consumed by the binaries
+/// that support durable checkpoints (see `figrecover`).
+pub fn recover_from_env() -> bool {
+    if cli().recover {
+        return true;
+    }
+    match env_var("ITESP_RECOVER").as_deref() {
+        None | Some("0") | Some("") => false,
+        Some("1") => true,
+        Some(v) => {
+            eprintln!("error: invalid ITESP_RECOVER {v:?} (expected 0 or 1)");
             std::process::exit(2);
         }
     }

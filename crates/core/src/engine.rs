@@ -451,6 +451,77 @@ impl SecurityEngine {
         s
     }
 
+    /// Serialize the engine for a crash-recovery snapshot: a config
+    /// fingerprint (so a snapshot cannot be restored into an engine
+    /// built for a different scheme or capacity), the statistics, and
+    /// the scheme model's full mutable state.
+    pub fn save_state(&self, w: &mut itesp_snap::SnapWriter) {
+        w.section("ENGN", 1);
+        w.str(self.cfg.scheme.label());
+        w.usize(self.cfg.enclaves);
+        w.u64(self.cfg.data_capacity);
+        w.u64(self.cfg.enclave_capacity);
+        w.usize(self.cfg.metadata_cache_bytes);
+        w.usize(self.cfg.cache_ways);
+        w.bool(self.cfg.model_overflow);
+        w.u64(self.cfg.rank_stride_blocks);
+        let s = &self.stats;
+        w.u64(s.data_reads);
+        w.u64(s.data_writes);
+        for v in s.meta_reads.iter().chain(&s.meta_writes) {
+            w.u64(*v);
+        }
+        for v in &s.case_counts {
+            w.u64(*v);
+        }
+        w.u64(s.overflows);
+        w.u64(s.overflow_stall_cycles);
+        self.model.save_state(w);
+    }
+
+    /// Restore a freshly built engine (same config) from
+    /// [`SecurityEngine::save_state`] bytes.
+    ///
+    /// # Errors
+    /// [`itesp_snap::SnapError::Corrupt`] if the snapshot's config
+    /// fingerprint does not match this engine's configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut itesp_snap::SnapReader,
+    ) -> Result<(), itesp_snap::SnapError> {
+        r.section("ENGN", 1)?;
+        let fp_ok = r.str("engine scheme")? == self.cfg.scheme.label()
+            && r.usize("engine enclaves")? == self.cfg.enclaves
+            && r.u64("engine data_capacity")? == self.cfg.data_capacity
+            && r.u64("engine enclave_capacity")? == self.cfg.enclave_capacity
+            && r.usize("engine metadata_cache_bytes")? == self.cfg.metadata_cache_bytes
+            && r.usize("engine cache_ways")? == self.cfg.cache_ways
+            && r.bool("engine model_overflow")? == self.cfg.model_overflow
+            && r.u64("engine rank_stride_blocks")? == self.cfg.rank_stride_blocks;
+        if !fp_ok {
+            return Err(itesp_snap::SnapError::Corrupt {
+                what: "engine config fingerprint (snapshot from a different configuration)",
+                at: r.pos(),
+            });
+        }
+        self.stats.data_reads = r.u64("stats data_reads")?;
+        self.stats.data_writes = r.u64("stats data_writes")?;
+        for v in self
+            .stats
+            .meta_reads
+            .iter_mut()
+            .chain(self.stats.meta_writes.iter_mut())
+        {
+            *v = r.u64("stats meta counts")?;
+        }
+        for v in &mut self.stats.case_counts {
+            *v = r.u64("stats case_counts")?;
+        }
+        self.stats.overflows = r.u64("stats overflows")?;
+        self.stats.overflow_stall_cycles = r.u64("stats overflow_stall_cycles")?;
+        self.model.load_state(r)
+    }
+
     /// Which cache partition and block index a data access uses.
     fn locate(&self, enclave: usize, paddr: u64, enclave_block: u64) -> (usize, u64) {
         if self.spec.isolated {

@@ -863,6 +863,98 @@ impl SchemeModel for TreeWalkModel {
         }
     }
 
+    fn save_state(&self, w: &mut itesp_snap::SnapWriter) {
+        w.section("TREE", 1);
+        // Lifecycle geometry per partition: data_blocks is stored
+        // verbatim by TreeGeometry, so the geometry round-trips through
+        // `spec.tree.geometry(data_blocks)` exactly.
+        w.seq(self.part_geos.iter(), |w, g| {
+            w.opt_u64(g.as_ref().map(TreeGeometry::data_blocks));
+        });
+        let save_cache = |w: &mut itesp_snap::SnapWriter, c: &Option<PartitionedCache>| {
+            w.bool(c.is_some());
+            if let Some(pc) = c {
+                pc.save_state(w);
+            }
+        };
+        save_cache(w, &self.tree_cache);
+        save_cache(w, &self.mac_cache);
+        save_cache(w, &self.parity_cache);
+        w.bool(self.overflow.is_some());
+        if let Some(of) = &self.overflow {
+            of.save_state(w);
+        }
+        w.seq(self.tree_memo.iter(), |w, m| match m {
+            Some(memo) => {
+                w.bool(true);
+                w.u64(memo.leaf_index);
+                w.u64(memo.leaf_addr);
+            }
+            None => w.bool(false),
+        });
+        w.bool(self.memo_enabled);
+    }
+
+    fn load_state(&mut self, r: &mut itesp_snap::SnapReader) -> Result<(), itesp_snap::SnapError> {
+        r.section("TREE", 1)?;
+        let corrupt = |what, at| itesp_snap::SnapError::Corrupt { what, at };
+        let parts = self.part_geos.len();
+        let n = r.seq_len("partition geometries")?;
+        if n != parts {
+            return Err(corrupt("partition count (config mismatch)", r.pos()));
+        }
+        for g in &mut self.part_geos {
+            *g = match r.opt_u64("partition data_blocks")? {
+                Some(blocks) => Some(
+                    self.spec
+                        .tree
+                        .geometry(blocks)
+                        .ok_or(corrupt("partition geometry for treeless scheme", r.pos()))?,
+                ),
+                None => None,
+            };
+        }
+        let load_cache = |r: &mut itesp_snap::SnapReader,
+                          c: &mut Option<PartitionedCache>,
+                          what: &'static str|
+         -> Result<(), itesp_snap::SnapError> {
+            let present = r.bool(what)?;
+            if present != c.is_some() {
+                return Err(itesp_snap::SnapError::Corrupt { what, at: r.pos() });
+            }
+            if present {
+                *c = Some(PartitionedCache::load_state(r)?);
+            }
+            Ok(())
+        };
+        load_cache(r, &mut self.tree_cache, "tree cache presence")?;
+        load_cache(r, &mut self.mac_cache, "mac cache presence")?;
+        load_cache(r, &mut self.parity_cache, "parity cache presence")?;
+        let has_overflow = r.bool("overflow tracker presence")?;
+        if has_overflow != self.overflow.is_some() {
+            return Err(corrupt("overflow tracker presence", r.pos()));
+        }
+        if has_overflow {
+            self.overflow = Some(OverflowTracker::load_state(r)?);
+        }
+        let n = r.seq_len("tree memos")?;
+        if n != parts {
+            return Err(corrupt("tree memo count (config mismatch)", r.pos()));
+        }
+        for m in &mut self.tree_memo {
+            *m = if r.bool("tree memo presence")? {
+                Some(TreeMemo {
+                    leaf_index: r.u64("memo leaf_index")?,
+                    leaf_addr: r.u64("memo leaf_addr")?,
+                })
+            } else {
+                None
+            };
+        }
+        self.memo_enabled = r.bool("memo enabled")?;
+        Ok(())
+    }
+
     fn repartition_caches(&mut self, live: &[bool], mem: &mut Vec<MetaAccess>) {
         if !self.spec.isolated {
             return;

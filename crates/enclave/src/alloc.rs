@@ -10,6 +10,8 @@
 
 use std::collections::BTreeSet;
 
+use itesp_snap::{SnapError, SnapReader, SnapWriter};
+
 /// The result of [`LeafAllocator::alloc`]: the id, tagged with whether
 /// it has a history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +114,52 @@ impl LeafAllocator {
     /// Highest fresh id handed out so far (the dense watermark).
     pub fn high_water(&self) -> u64 {
         self.next
+    }
+
+    /// Serialize for a crash-recovery snapshot. The free list keeps its
+    /// LIFO order (recycling order is behavior, not just bookkeeping).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.section("LEAF", 1);
+        w.u64(self.capacity);
+        w.u64(self.next);
+        w.seq(self.free.iter(), |w, &l| w.u64(l));
+        w.seq(self.live.iter(), |w, &l| w.u64(l));
+    }
+
+    /// Rebuild from [`Self::save_state`] bytes, re-validating the
+    /// live/free disjointness invariant.
+    pub fn load_state(r: &mut SnapReader) -> Result<Self, SnapError> {
+        r.section("LEAF", 1)?;
+        let capacity = r.u64("allocator capacity")?;
+        let next = r.u64("allocator next")?;
+        let nfree = r.seq_len("allocator free list")?;
+        let mut free = Vec::with_capacity(nfree);
+        for _ in 0..nfree {
+            free.push(r.u64("free leaf")?);
+        }
+        let nlive = r.seq_len("allocator live set")?;
+        let mut live = BTreeSet::new();
+        for _ in 0..nlive {
+            let leaf = r.u64("live leaf")?;
+            if !live.insert(leaf) {
+                return Err(SnapError::Corrupt {
+                    what: "duplicate live leaf",
+                    at: r.pos(),
+                });
+            }
+        }
+        if next > capacity || free.iter().any(|l| live.contains(l)) {
+            return Err(SnapError::Corrupt {
+                what: "allocator invariant (live/free overlap or next past capacity)",
+                at: r.pos(),
+            });
+        }
+        Ok(LeafAllocator {
+            capacity,
+            next,
+            free,
+            live,
+        })
     }
 }
 

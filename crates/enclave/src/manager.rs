@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use itesp_core::{MacKey, MetaAccess, SecurityEngine};
+use itesp_snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::alloc::{LeafAllocator, LeafGrant};
 
@@ -79,6 +80,60 @@ impl Enclave {
 
     pub fn allocator(&self) -> &LeafAllocator {
         &self.allocator
+    }
+
+    /// Serialize one enclave's mutable state. The MAC key is *not*
+    /// serialized: it re-derives from the manager's master key and the
+    /// enclave id, so snapshot bytes never carry key material.
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.section("ENCL", 1);
+        w.u64(self.id.0);
+        w.u64(self.footprint_pages);
+        w.u64(self.tree_pages);
+        w.seq(self.pages.iter(), |w, (&vpage, info)| {
+            w.u64(vpage);
+            w.u64(info.leaf);
+            w.u64(info.ppage);
+        });
+        w.seq(self.counters.iter(), |w, (&leaf, &c)| {
+            w.u64(leaf);
+            w.u64(c);
+        });
+        self.allocator.save_state(w);
+    }
+
+    /// Rebuild from [`Self::save_state`] bytes, re-deriving the key
+    /// from `master`.
+    fn load_state(r: &mut SnapReader, master: u64) -> Result<Self, SnapError> {
+        r.section("ENCL", 1)?;
+        let id = EnclaveId(r.u64("enclave id")?);
+        let footprint_pages = r.u64("enclave footprint")?;
+        let tree_pages = r.u64("enclave tree pages")?;
+        let npages = r.seq_len("enclave page map")?;
+        let mut pages = BTreeMap::new();
+        for _ in 0..npages {
+            let vpage = r.u64("vpage")?;
+            let leaf = r.u64("page leaf")?;
+            let ppage = r.u64("page frame")?;
+            pages.insert(vpage, PageInfo { leaf, ppage });
+        }
+        let ncounters = r.seq_len("enclave counters")?;
+        let mut counters = BTreeMap::new();
+        for _ in 0..ncounters {
+            let leaf = r.u64("counter leaf")?;
+            let c = r.u64("counter value")?;
+            counters.insert(leaf, c);
+        }
+        let allocator = LeafAllocator::load_state(r)?;
+        Ok(Enclave {
+            id,
+            key: MacKey::derive(master, id.0),
+            footprint_pages,
+            tree_pages,
+            pages,
+            counters,
+            allocator,
+        })
     }
 }
 
@@ -315,6 +370,62 @@ impl EnclaveManager {
 
     pub fn stats(&self) -> LifecycleStats {
         self.stats
+    }
+
+    /// Serialize the full lifecycle state: every slot's enclave, the
+    /// id watermark, and the accumulated stats. The master key *is*
+    /// serialized (it's simulation seed material, not a secret) so a
+    /// recovered manager derives identical per-enclave keys.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.section("EMGR", 1);
+        w.u64(self.master);
+        w.u64(self.next_id);
+        w.bool(self.rebuild_parity);
+        w.seq(self.slots.iter(), |w, slot| {
+            w.bool(slot.is_some());
+            if let Some(enc) = slot {
+                enc.save_state(w);
+            }
+        });
+        let s = &self.stats;
+        w.u64(s.created);
+        w.u64(s.destroyed);
+        w.u64(s.grows);
+        w.u64(s.pages_freed);
+        w.u64(s.leaves_recycled);
+        w.u64(s.peak_live_pages);
+    }
+
+    /// Restore from [`Self::save_state`] bytes. `self` must have been
+    /// built with the same slot count as the snapshotted manager.
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.section("EMGR", 1)?;
+        self.master = r.u64("manager master key")?;
+        self.next_id = r.u64("manager next id")?;
+        self.rebuild_parity = r.bool("manager rebuild_parity")?;
+        let nslots = r.seq_len("manager slots")?;
+        if nslots != self.slots.len() {
+            return Err(SnapError::Corrupt {
+                what: "manager slot count (snapshot from a different configuration)",
+                at: r.pos(),
+            });
+        }
+        for slot in &mut self.slots {
+            *slot = if r.bool("slot occupancy")? {
+                Some(Enclave::load_state(r, self.master)?)
+            } else {
+                None
+            };
+        }
+        self.stats = LifecycleStats {
+            created: r.u64("stats created")?,
+            destroyed: r.u64("stats destroyed")?,
+            grows: r.u64("stats grows")?,
+            pages_freed: r.u64("stats pages_freed")?,
+            leaves_recycled: r.u64("stats leaves_recycled")?,
+            peak_live_pages: r.u64("stats peak_live_pages")?,
+        };
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 
+use itesp_snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 use itesp_core::{MetaAccess, SecurityEngine};
@@ -263,6 +264,119 @@ impl ChurnDriver {
         );
         self.live[slot] = false;
         traffic
+    }
+
+    /// Serialize the churn state machine. Pending session queues are
+    /// stored as *remaining counts* — the schedule itself regenerates
+    /// deterministically from the workload the driver was built with,
+    /// so only consumption progress needs to persist. Mid-session free
+    /// events are stored verbatim (they are partially consumed).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.section("CHRN", 1);
+        w.seq(self.queues.iter(), |w, q| w.usize(q.len()));
+        w.seq(self.frees.iter(), |w, fs| {
+            w.seq(fs.iter(), |w, f| {
+                w.usize(f.after_record);
+                w.u64(f.vaddr);
+            });
+        });
+        w.seq(self.live.iter(), |w, &l| w.bool(l));
+        w.seq(self.ready_at.iter(), |w, &r| w.u64(r));
+        self.mapper.save_state(w);
+        self.manager.save_state(w);
+        let t = &self.traffic;
+        for v in [
+            t.init_reads,
+            t.init_writes,
+            t.migration_reads,
+            t.grow_writes,
+            t.reset_reads,
+            t.reset_writes,
+            t.zeroize_reads,
+            t.zeroize_writes,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Restore from [`Self::save_state`] bytes into a driver freshly
+    /// built from the *same workload and seed*: already-consumed
+    /// sessions are popped off the regenerated queues.
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.section("CHRN", 1)?;
+        let nslots = r.seq_len("churn slot queues")?;
+        if nslots != self.queues.len() {
+            return Err(SnapError::Corrupt {
+                what: "churn slot count (snapshot from a different workload)",
+                at: r.pos(),
+            });
+        }
+        for q in &mut self.queues {
+            let remaining = r.usize("remaining sessions")?;
+            if remaining > q.len() {
+                return Err(SnapError::Corrupt {
+                    what: "remaining sessions exceed the workload schedule",
+                    at: r.pos(),
+                });
+            }
+            while q.len() > remaining {
+                q.pop_front();
+            }
+        }
+        let n = r.seq_len("churn free queues")?;
+        if n != self.frees.len() {
+            return Err(SnapError::Corrupt {
+                what: "churn free-queue count",
+                at: r.pos(),
+            });
+        }
+        for fs in &mut self.frees {
+            let nf = r.seq_len("pending frees")?;
+            let mut q = VecDeque::with_capacity(nf);
+            for _ in 0..nf {
+                let after_record = r.usize("free after_record")?;
+                let vaddr = r.u64("free vaddr")?;
+                q.push_back(PageFree {
+                    after_record,
+                    vaddr,
+                });
+            }
+            *fs = q;
+        }
+        let n = r.seq_len("churn live flags")?;
+        if n != self.live.len() {
+            return Err(SnapError::Corrupt {
+                what: "churn live-flag count",
+                at: r.pos(),
+            });
+        }
+        for l in &mut self.live {
+            *l = r.bool("slot live")?;
+        }
+        let n = r.seq_len("churn ready_at")?;
+        if n != self.ready_at.len() {
+            return Err(SnapError::Corrupt {
+                what: "churn ready_at count",
+                at: r.pos(),
+            });
+        }
+        for ra in &mut self.ready_at {
+            *ra = r.u64("slot ready_at")?;
+        }
+        self.mapper.load_state(r)?;
+        self.manager.load_state(r)?;
+        self.traffic = ChurnStats {
+            init_reads: r.u64("churn traffic")?,
+            init_writes: r.u64("churn traffic")?,
+            migration_reads: r.u64("churn traffic")?,
+            grow_writes: r.u64("churn traffic")?,
+            reset_reads: r.u64("churn traffic")?,
+            reset_writes: r.u64("churn traffic")?,
+            zeroize_reads: r.u64("churn traffic")?,
+            zeroize_writes: r.u64("churn traffic")?,
+            ..ChurnStats::default()
+        };
+        Ok(())
     }
 
     /// Merged lifecycle statistics for the run result.

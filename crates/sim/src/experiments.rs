@@ -128,6 +128,17 @@ pub fn run_workload_churn(w: &ChurnWorkload, p: ExperimentParams) -> RunResult {
     System::new_churn(cfg, w, p.seed, true).run()
 }
 
+/// Build (without running) the churn+RAS system the crash-recovery
+/// drill exercises: enclave lifecycle churn with the online fault
+/// pipeline active. The caller attaches a snapshot sink and/or
+/// restores state before calling [`System::try_run`].
+pub fn build_churn_ras_system(w: &ChurnWorkload, p: ExperimentParams, ras: RasConfig) -> System {
+    let dram = p.dram_config();
+    let engine = p.engine_config(&dram);
+    let cfg = SystemConfig::table_iii(dram, engine).with_ras(ras);
+    System::new_churn(cfg, w, p.seed, true)
+}
+
 /// Run a pre-built workload with the online RAS pipeline enabled.
 ///
 /// # Errors

@@ -28,15 +28,20 @@ pub mod churn;
 pub mod covert;
 pub mod experiments;
 pub mod ras;
+pub mod recovery;
 pub mod stats;
 pub mod system;
 
 pub use churn::{ChurnDriver, ChurnStats};
 pub use covert::{run_channel, ChannelPoint, CovertConfig, LatencyRange};
 pub use experiments::{
-    run_experiment, run_named, run_workload, run_workload_churn, run_workload_ras, try_run_named,
-    ExperimentParams,
+    build_churn_ras_system, run_experiment, run_named, run_workload, run_workload_churn,
+    run_workload_ras, try_run_named, ExperimentParams,
 };
 pub use ras::{Drill, RasConfig, RasError, RasStats};
+pub use recovery::{
+    recover_system, recover_system_strict, RecoverError, SnapshotConfig, SnapshotSink,
+    DEFAULT_SNAPSHOT_EVERY,
+};
 pub use stats::RunResult;
 pub use system::{System, SystemConfig, CPU_PER_DRAM_CYCLE};

@@ -14,10 +14,12 @@ use std::collections::{HashMap, VecDeque};
 
 use itesp_core::{EngineConfig, MetaAccess, SecurityEngine};
 use itesp_dram::{Completion, DramConfig, IssuedCommand, MemorySystem, RequestId};
+use itesp_snap::{SnapError, SnapReader, SnapWriter};
 use itesp_trace::{ChurnWorkload, MemOp, MultiProgram, PhysRecord, PAGE_BYTES};
 
 use crate::churn::{ChurnDriver, ChurnStats};
 use crate::ras::{RasConfig, RasEngine, RasError, RasStats, ReadCheck};
+use crate::recovery::SnapshotSink;
 use crate::stats::RunResult;
 
 /// CPU cycles per DRAM bus cycle (3.2 GHz core, 800 MHz DDR3 bus).
@@ -184,6 +186,9 @@ pub struct System {
     nparked: usize,
     /// Reusable completion-drain buffer for the run loop.
     comp_buf: Vec<Completion>,
+    /// Durable checkpoint sink, if crash recovery is enabled
+    /// (`take`n around captures, like the RAS engine).
+    snap: Option<SnapshotSink>,
 }
 
 impl System {
@@ -226,7 +231,21 @@ impl System {
             parked: vec![false; ncores],
             nparked: 0,
             comp_buf: Vec::new(),
+            snap: None,
         }
+    }
+
+    /// Enable durable checkpointing: the run loop captures a full-state
+    /// snapshot through `sink` on its cadence (always on a DRAM-aligned
+    /// CPU cycle, at the top of the loop, so a recovered run resumes at
+    /// exactly the captured point).
+    pub fn attach_snapshots(&mut self, sink: SnapshotSink) {
+        self.snap = Some(sink);
+    }
+
+    /// Current CPU cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
     }
 
     /// Build a system serving a churn schedule: cores start empty and
@@ -354,6 +373,21 @@ impl System {
             assert!(self.cycle < limit, "simulation exceeded max_cycles");
             if self.ras.as_ref().is_some_and(|r| r.fatal.is_some()) {
                 break; // halt_on_due: stop issuing, report the error
+            }
+
+            // Durable checkpoint, always at the top of a DRAM-aligned
+            // cycle so the captured state is exactly what a recovered
+            // run resumes from. A pending fatal error never checkpoints
+            // (the branch above broke out first).
+            if self
+                .snap
+                .as_ref()
+                .is_some_and(|s| s.due(self.cycle) && self.cycle.is_multiple_of(CPU_PER_DRAM_CYCLE))
+            {
+                let mut sink = self.snap.take().expect("checked above");
+                sink.capture(self)
+                    .unwrap_or_else(|e| panic!("snapshot capture failed: {e}"));
+                self.snap = Some(sink);
             }
 
             // Memory ticks at the DRAM clock.
@@ -1120,6 +1154,230 @@ impl System {
         }
         // Land exactly on the event cycle: the loop's `+= 1` follows.
         self.cycle = target - 1;
+    }
+
+    /// Serialize the complete simulation state — clock, DRAM, engine,
+    /// cores, in-flight bookkeeping, RAS fault process, and churn
+    /// driver — for a crash-recovery checkpoint. Core traces are stored
+    /// verbatim for churn runs (sessions swap traces at admission);
+    /// static traces are construction inputs and only length-checked.
+    ///
+    /// # Panics
+    /// Panics if DRAM command logging is enabled (logs are unbounded
+    /// diagnostic state, not checkpointable) or a fatal RAS error is
+    /// pending.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.section("SYST", 1);
+        w.u64(self.cycle);
+        w.bool(self.ras.is_some());
+        w.bool(self.churn.is_some());
+        self.mem.save_state(w);
+        self.engine.save_state(w);
+        if let Some(ch) = &self.churn {
+            ch.save_state(w);
+        }
+        if let Some(ras) = &self.ras {
+            ras.save_state(w);
+        }
+        let inline_traces = self.churn.is_some();
+        w.seq(self.cores.iter(), |w, c| {
+            if inline_traces {
+                w.seq(c.trace.iter(), |w, r| {
+                    w.u32(r.gap);
+                    w.u8(match r.op {
+                        MemOp::Read => 0,
+                        MemOp::Write => 1,
+                    });
+                    w.u64(r.paddr);
+                });
+            } else {
+                w.usize(c.trace.len());
+            }
+            w.usize(c.pos);
+            w.u64(c.gap_left);
+            w.bool(c.op_issued);
+            w.u64(c.fetched);
+            w.u64(c.retired);
+            w.seq(c.reads.iter(), |w, p| {
+                w.u64(p.rob_pos);
+                w.bool(p.done);
+            });
+            w.opt_u64(c.blocked_write);
+            w.u64(c.stall_until);
+            w.opt_u64(c.finish);
+        });
+        let mut tags: Vec<_> = self.tags.iter().map(|(&id, &t)| (id, t)).collect();
+        tags.sort_unstable_by_key(|&(id, _)| id);
+        w.seq(tags.iter(), |w, &(id, t)| {
+            w.u64(id);
+            w.usize(t.core);
+            w.u64(t.rob_pos);
+        });
+        w.seq(self.pending_meta.iter(), |w, &(addr, is_write)| {
+            w.u64(addr);
+            w.bool(is_write);
+        });
+        w.seq(self.leaf_maps.iter(), |w, lm| {
+            let mut entries: Vec<_> = lm.map.iter().map(|(&p, &l)| (p, l)).collect();
+            entries.sort_unstable();
+            w.seq(entries.iter(), |w, &(p, l)| {
+                w.u64(p);
+                w.u64(l);
+            });
+            w.u64(lm.next);
+        });
+        let mut locs: Vec<_> = self
+            .ras_loc
+            .iter()
+            .map(|(&b, &(part, rb))| (b, part, rb))
+            .collect();
+        locs.sort_unstable();
+        w.seq(locs.iter(), |w, &(b, part, rb)| {
+            w.u64(b);
+            w.usize(part);
+            w.u64(rb);
+        });
+        w.seq(self.parked.iter(), |w, &p| w.bool(p));
+    }
+
+    /// Restore from [`Self::save_state`] bytes into a system freshly
+    /// built with the same configuration and workload. After this the
+    /// run continues deterministically from the captured cycle.
+    pub fn load_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.section("SYST", 1)?;
+        self.cycle = r.u64("system cycle")?;
+        let has_ras = r.bool("ras present")?;
+        let has_churn = r.bool("churn present")?;
+        if has_ras != self.ras.is_some() || has_churn != self.churn.is_some() {
+            return Err(SnapError::Corrupt {
+                what: "system shape (snapshot from a different configuration)",
+                at: r.pos(),
+            });
+        }
+        self.mem.load_state(r)?;
+        self.engine.load_state(r)?;
+        if let Some(ch) = &mut self.churn {
+            ch.load_state(r)?;
+        }
+        if let Some(ras) = &mut self.ras {
+            ras.load_state(r)?;
+        }
+        let ncores = r.seq_len("system cores")?;
+        if ncores != self.cores.len() {
+            return Err(SnapError::Corrupt {
+                what: "core count (snapshot from a different configuration)",
+                at: r.pos(),
+            });
+        }
+        for c in &mut self.cores {
+            if has_churn {
+                let n = r.seq_len("core trace")?;
+                let mut trace = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let gap = r.u32("record gap")?;
+                    let op = match r.u8("record op")? {
+                        0 => MemOp::Read,
+                        1 => MemOp::Write,
+                        _ => {
+                            return Err(SnapError::Corrupt {
+                                what: "record op tag",
+                                at: r.pos(),
+                            })
+                        }
+                    };
+                    let paddr = r.u64("record paddr")?;
+                    trace.push(PhysRecord { gap, op, paddr });
+                }
+                c.trace = trace;
+            } else {
+                let n = r.usize("trace length")?;
+                if n != c.trace.len() {
+                    return Err(SnapError::Corrupt {
+                        what: "trace length (snapshot from a different workload)",
+                        at: r.pos(),
+                    });
+                }
+            }
+            c.pos = r.usize("core pos")?;
+            c.gap_left = r.u64("core gap_left")?;
+            c.op_issued = r.bool("core op_issued")?;
+            c.fetched = r.u64("core fetched")?;
+            c.retired = r.u64("core retired")?;
+            let n = r.seq_len("pending reads")?;
+            let mut reads = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                let rob_pos = r.u64("read rob_pos")?;
+                let done = r.bool("read done")?;
+                reads.push_back(PendingRead { rob_pos, done });
+            }
+            c.reads = reads;
+            c.blocked_write = r.opt_u64("blocked write")?;
+            c.stall_until = r.u64("core stall_until")?;
+            c.finish = r.opt_u64("core finish")?;
+        }
+        let n = r.seq_len("request tags")?;
+        let mut tags = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64("tag id")?;
+            let core = r.usize("tag core")?;
+            let rob_pos = r.u64("tag rob_pos")?;
+            if core >= self.cores.len() {
+                return Err(SnapError::Corrupt {
+                    what: "tag core index",
+                    at: r.pos(),
+                });
+            }
+            tags.insert(id, ReqTag { core, rob_pos });
+        }
+        self.tags = tags;
+        let n = r.seq_len("pending metadata")?;
+        let mut pending = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let addr = r.u64("pending addr")?;
+            let is_write = r.bool("pending is_write")?;
+            pending.push_back((addr, is_write));
+        }
+        self.pending_meta = pending;
+        let n = r.seq_len("leaf maps")?;
+        if n != self.leaf_maps.len() {
+            return Err(SnapError::Corrupt {
+                what: "leaf-map count",
+                at: r.pos(),
+            });
+        }
+        for lm in &mut self.leaf_maps {
+            let n = r.seq_len("leaf map entries")?;
+            let mut map = HashMap::with_capacity(n);
+            for _ in 0..n {
+                let p = r.u64("leaf map page")?;
+                let l = r.u64("leaf map leaf")?;
+                map.insert(p, l);
+            }
+            let next = r.u64("leaf map next")?;
+            *lm = LeafMap { map, next };
+        }
+        let n = r.seq_len("ras locations")?;
+        let mut locs = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let b = r.u64("loc block")?;
+            let part = r.usize("loc partition")?;
+            let rb = r.u64("loc rblock")?;
+            locs.insert(b, (part, rb));
+        }
+        self.ras_loc = locs;
+        let n = r.seq_len("parked flags")?;
+        if n != self.parked.len() {
+            return Err(SnapError::Corrupt {
+                what: "parked-flag count",
+                at: r.pos(),
+            });
+        }
+        for p in &mut self.parked {
+            *p = r.bool("parked")?;
+        }
+        self.nparked = self.parked.iter().filter(|&&p| p).count();
+        self.comp_buf.clear();
+        Ok(())
     }
 
     fn finish_run(mut self) -> RunResult {

@@ -1,0 +1,33 @@
+//! # itesp-snap — crash-safe snapshot codec and durable snapshot store
+//!
+//! The crash-recovery substrate for the whole workspace (ISSUE 8): a
+//! compact binary codec every layer serializes its live security state
+//! through, plus a durable on-disk store pairing versioned snapshot
+//! files with a write-ahead log of snapshot positions.
+//!
+//! * [`wire`] — [`SnapWriter`]/[`SnapReader`]: length-checked,
+//!   section-tagged binary encoding with typed errors. No floats are
+//!   approximated (f64 round-trips through its bit pattern), maps are
+//!   written in sorted key order so identical state produces identical
+//!   bytes.
+//! * [`crc`] — the CRC-32 (IEEE) integrity check framing every
+//!   snapshot file.
+//! * [`store`] — [`SnapshotStore`]: atomic temp+rename snapshot files
+//!   with file *and directory* fsync, an fsync'd append-only WAL whose
+//!   head names the freshest snapshot, torn-tail tolerance, and the
+//!   anti-rollback freshness check ([`SnapshotStore::verify_fresh`]):
+//!   presenting a stale snapshot as the latest state is detected, so
+//!   no counter can rewind and no freed leaf-id can come back live
+//!   without the deterministic suffix replay that re-derives them.
+//!
+//! This crate deliberately has **zero dependencies** so the DRAM model
+//! (the workspace's bottom crate) and the oracle harness can both use
+//! it without cycles.
+
+pub mod crc;
+pub mod store;
+pub mod wire;
+
+pub use crc::crc32;
+pub use store::{SnapshotMeta, SnapshotStore, StoreError, WalRecord};
+pub use wire::{SnapError, SnapReader, SnapWriter};
