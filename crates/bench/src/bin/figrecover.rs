@@ -163,7 +163,13 @@ fn kill_and_recover(
         if child.try_wait().expect("poll child").is_some() {
             break; // finished before the kill landed — still verifiable
         }
-        let committed = store.wal_records().map(|r| r.len()).unwrap_or(0);
+        // The head seq counts every commit ever acknowledged; the
+        // record *count* no longer does, since pruning compacts the WAL.
+        let committed = store
+            .wal_head()
+            .ok()
+            .flatten()
+            .map_or(0, |r| r.seq as usize);
         if committed >= kill_after {
             child.kill().expect("SIGKILL child");
             child.wait().expect("reap child");

@@ -38,7 +38,13 @@ const TARGETS: &[&str] = &[
     "figchurn",
     "figpareto",
     "figrecover",
+    "figserve",
 ];
+
+/// The serve drill runs live daemons with kills and drains; when no
+/// explicit `--target-timeout` is set, cap it so a wedged daemon or a
+/// client stuck in a retry loop cannot hang the whole regeneration.
+const FIGSERVE_DEADLINE: Duration = Duration::from_secs(600);
 
 #[derive(Serialize)]
 struct TargetReport {
@@ -297,7 +303,8 @@ fn main() {
                 // recomputing completed jobs.
                 args.push("--resume".to_owned());
             }
-            let status = run_child(&dir.join(t), &args, timeout);
+            let child_timeout = timeout.or_else(|| (*t == "figserve").then_some(FIGSERVE_DEADLINE));
+            let status = run_child(&dir.join(t), &args, child_timeout);
             if status.is_ok() || attempts > retries {
                 break status;
             }

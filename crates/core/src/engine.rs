@@ -210,6 +210,27 @@ impl EngineConfig {
         }
     }
 
+    /// A per-shard *serving* configuration: one tenant, one core, and a
+    /// metadata-cache budget derived from how many structures the
+    /// scheme actually caches (8 KB per structure = 8 ways x 16 sets of
+    /// 64 B blocks), so every member of [`Scheme::ALL`] validates
+    /// without per-scheme tuning. `itesp-serve` instantiates one of
+    /// these per shard worker.
+    pub fn single_tenant(scheme: Scheme, data_capacity: u64) -> Self {
+        let mut cfg = EngineConfig {
+            scheme,
+            enclaves: 1,
+            data_capacity,
+            enclave_capacity: data_capacity,
+            metadata_cache_bytes: 0,
+            cache_ways: 8,
+            model_overflow: false,
+            rank_stride_blocks: 4,
+        };
+        cfg.metadata_cache_bytes = cfg.cached_structures().max(1) * (8 << 10);
+        cfg
+    }
+
     /// How many cache partitions this configuration needs (one per
     /// enclave under isolation, one shared otherwise).
     fn partitions(&self) -> usize {
@@ -775,6 +796,21 @@ mod tests {
 
     fn engine(scheme: Scheme) -> SecurityEngine {
         SecurityEngine::new(EngineConfig::paper_default(scheme))
+    }
+
+    #[test]
+    fn single_tenant_validates_for_every_scheme() {
+        for scheme in Scheme::ALL {
+            let cfg = EngineConfig::single_tenant(scheme, 32 << 30);
+            cfg.validate().unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+            assert_eq!(cfg.enclaves, 1);
+            // The budget scales with the structures the scheme caches;
+            // a scheme that caches nothing still gets one valid slice.
+            assert_eq!(
+                cfg.metadata_cache_bytes,
+                cfg.cached_structures().max(1) * (8 << 10)
+            );
+        }
     }
 
     #[test]

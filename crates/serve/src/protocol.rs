@@ -1,0 +1,444 @@
+//! The `ITSV` length-prefixed frame protocol.
+//!
+//! Every message on the traffic port is one frame:
+//!
+//! ```text
+//! b"ITSV" | kind: u8 | len: u32 LE | payload[len]
+//! ```
+//!
+//! Clients send `Hello` (who am I, what scheme, how many records),
+//! then `Records` frames of 13-byte trace cells, then `End`. The
+//! daemon answers `Admitted` or `Busy` after `Hello`, and `Result`
+//! (a JSON [`crate::TenantStats`]) or `ErrorFrame` (code + message)
+//! after `End`. Reading is strict: a declared length past
+//! [`MAX_FRAME`] is rejected *before* any payload is buffered, and a
+//! disconnect mid-frame is [`ServeError::Truncated`], never a panic.
+
+use std::io::{ErrorKind, Read, Write};
+
+use itesp_trace::TraceRecord;
+
+use crate::error::ServeError;
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame magic.
+pub const MAGIC: &[u8; 4] = b"ITSV";
+
+/// Hard cap on a single frame's payload. Records frames chunk a trace
+/// into pieces under this; anything declaring more is hostile.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Frame header size: magic + kind + len.
+pub const HEADER: usize = 4 + 1 + 4;
+
+/// Frame kinds. Client-to-daemon kinds are low, daemon-to-client high.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    Hello,
+    Records,
+    End,
+    Admitted,
+    Busy,
+    Result,
+    ErrorFrame,
+}
+
+impl FrameKind {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Hello => 1,
+            FrameKind::Records => 2,
+            FrameKind::End => 3,
+            FrameKind::Admitted => 16,
+            FrameKind::Busy => 17,
+            FrameKind::Result => 18,
+            FrameKind::ErrorFrame => 19,
+        }
+    }
+
+    pub fn from_u8(b: u8) -> Result<Self, ServeError> {
+        Ok(match b {
+            1 => FrameKind::Hello,
+            2 => FrameKind::Records,
+            3 => FrameKind::End,
+            16 => FrameKind::Admitted,
+            17 => FrameKind::Busy,
+            18 => FrameKind::Result,
+            19 => FrameKind::ErrorFrame,
+            other => return Err(ServeError::UnknownKind(other)),
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: FrameKind,
+    pub payload: Vec<u8>,
+}
+
+/// Read exactly `buf.len()` bytes, reporting a clean disconnect
+/// mid-read as [`ServeError::Truncated`] with byte counts.
+fn read_exact_or_truncated(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ServeError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(ServeError::Truncated {
+                    needed: buf.len(),
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF *at a frame boundary*
+/// (the peer closed between frames); EOF anywhere else is
+/// [`ServeError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ServeError> {
+    let mut header = [0u8; HEADER];
+    let mut got = 0;
+    while got < HEADER {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ServeError::Truncated {
+                    needed: HEADER,
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if &header[..4] != MAGIC {
+        return Err(ServeError::BadMagic(
+            header[..4].try_into().expect("4 bytes"),
+        ));
+    }
+    let kind = FrameKind::from_u8(header[4])?;
+    let len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(ServeError::Oversized {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_truncated(r, &mut payload)?;
+    Ok(Some(Frame { kind, payload }))
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), ServeError> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut buf = Vec::with_capacity(HEADER + payload.len());
+    buf.extend_from_slice(MAGIC);
+    buf.push(kind.to_u8());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// `Hello` payload: everything the daemon needs to admit, place, and
+/// later recompute a request deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hello {
+    pub version: u16,
+    /// Tenant identity; shard placement and stats are keyed on it.
+    pub tenant: u64,
+    /// Idempotency key: re-completing the same (tenant, seq) after a
+    /// crash-retry overwrites identically instead of double-counting.
+    pub request_seq: u64,
+    /// Seed for the tenant's RAS pipeline (0 fault rate = unused).
+    pub seed: u64,
+    /// Scheme label from [`itesp_core::Scheme::ALL`].
+    pub scheme: String,
+    /// Benchmark name, for reporting and working-set sizing.
+    pub benchmark: String,
+    /// Working-set megabytes used by page mapping.
+    pub working_set_mb: u64,
+    /// Poisson fault rate for the online RAS pipeline; 0.0 = off.
+    pub fault_rate: f64,
+}
+
+impl Hello {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.tenant.to_le_bytes());
+        out.extend_from_slice(&self.request_seq.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        put_str(&mut out, &self.scheme);
+        put_str(&mut out, &self.benchmark);
+        out.extend_from_slice(&self.working_set_mb.to_le_bytes());
+        out.extend_from_slice(&self.fault_rate.to_bits().to_le_bytes());
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self, ServeError> {
+        let mut c = Cursor { buf, pos: 0 };
+        let hello = Hello {
+            version: c.u16("version")?,
+            tenant: c.u64("tenant")?,
+            request_seq: c.u64("request_seq")?,
+            seed: c.u64("seed")?,
+            scheme: c.str("scheme")?,
+            benchmark: c.str("benchmark")?,
+            working_set_mb: c.u64("working_set_mb")?,
+            fault_rate: f64::from_bits(c.u64("fault_rate")?),
+        };
+        c.done()?;
+        if !hello.fault_rate.is_finite() || hello.fault_rate < 0.0 {
+            return Err(ServeError::Malformed(format!(
+                "fault_rate {} not a finite non-negative number",
+                hello.fault_rate
+            )));
+        }
+        Ok(hello)
+    }
+}
+
+/// `Records` payload: count + that many 13-byte cells.
+pub fn encode_records_frame(records: &[TraceRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + records.len() * itesp_trace::STREAM_CELL);
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    out.extend_from_slice(&itesp_trace::encode_records(records));
+    out
+}
+
+/// Split a `Records` payload into (declared count, cell bytes).
+pub fn records_frame_cells(payload: &[u8]) -> Result<(u32, &[u8]), ServeError> {
+    if payload.len() < 4 {
+        return Err(ServeError::Malformed(format!(
+            "Records frame of {} bytes has no count",
+            payload.len()
+        )));
+    }
+    let count = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes"));
+    let cells = &payload[4..];
+    if cells.len() != count as usize * itesp_trace::STREAM_CELL {
+        return Err(ServeError::Malformed(format!(
+            "Records frame declares {count} cells but carries {} bytes",
+            cells.len()
+        )));
+    }
+    Ok((count, cells))
+}
+
+/// `End` payload: total records the client believes it streamed.
+pub fn encode_end(total: u64) -> Vec<u8> {
+    total.to_le_bytes().to_vec()
+}
+
+pub fn decode_end(payload: &[u8]) -> Result<u64, ServeError> {
+    let bytes: [u8; 8] = payload.try_into().map_err(|_| {
+        ServeError::Malformed(format!("End frame of {} bytes, want 8", payload.len()))
+    })?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// `ErrorFrame` payload: code u16 + UTF-8 message.
+pub fn encode_error(e: &ServeError) -> Vec<u8> {
+    let msg = e.to_string();
+    let mut out = Vec::with_capacity(2 + msg.len());
+    out.extend_from_slice(&e.code().to_le_bytes());
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+/// Decode an `ErrorFrame` payload into (code, message).
+pub fn decode_error(payload: &[u8]) -> Result<(u16, String), ServeError> {
+    if payload.len() < 2 {
+        return Err(ServeError::Malformed(
+            "ErrorFrame shorter than its code".into(),
+        ));
+    }
+    let code = u16::from_le_bytes(payload[..2].try_into().expect("2 bytes"));
+    let msg = String::from_utf8_lossy(&payload[2..]).into_owned();
+    Ok((code, msg))
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&[u8], ServeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ServeError::Malformed(format!(
+                "payload ends inside {what}: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, ServeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, ServeError> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ServeError::Malformed(format!("{what} is not UTF-8")))
+    }
+
+    fn done(&self) -> Result<(), ServeError> {
+        if self.pos != self.buf.len() {
+            return Err(ServeError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor as IoCursor;
+
+    fn hello() -> Hello {
+        Hello {
+            version: PROTOCOL_VERSION,
+            tenant: 7,
+            request_seq: 3,
+            seed: 0xC0FFEE,
+            scheme: "ITESP".into(),
+            benchmark: "mcf".into(),
+            working_set_mb: 1153,
+            fault_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Hello, &hello().encode()).unwrap();
+        write_frame(&mut wire, FrameKind::End, &encode_end(42)).unwrap();
+        let mut r = IoCursor::new(wire);
+        let f1 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f1.kind, FrameKind::Hello);
+        assert_eq!(Hello::decode(&f1.payload).unwrap(), hello());
+        let f2 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(decode_end(&f2.payload).unwrap(), 42);
+        assert!(
+            read_frame(&mut r).unwrap().is_none(),
+            "clean EOF at boundary"
+        );
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncated_not_none() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::End, &encode_end(5)).unwrap();
+        for cut in 1..wire.len() {
+            let mut r = IoCursor::new(wire[..cut].to_vec());
+            let err = read_frame(&mut r).unwrap_err();
+            assert!(
+                matches!(err, ServeError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_buffering() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.push(FrameKind::Records.to_u8());
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut IoCursor::new(wire)).unwrap_err();
+        assert!(matches!(err, ServeError::Oversized { .. }), "{err}");
+    }
+
+    #[test]
+    fn garbage_magic_and_kind_are_typed() {
+        let mut wire = b"JUNK\x01\x00\x00\x00\x00".to_vec();
+        let err = read_frame(&mut IoCursor::new(wire.clone())).unwrap_err();
+        assert!(matches!(err, ServeError::BadMagic(_)), "{err}");
+        wire[..4].copy_from_slice(MAGIC);
+        wire[4] = 200;
+        let err = read_frame(&mut IoCursor::new(wire)).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownKind(200)), "{err}");
+    }
+
+    #[test]
+    fn hello_rejects_truncation_trailing_bytes_and_bad_floats() {
+        let good = hello().encode();
+        for cut in 0..good.len() {
+            assert!(
+                Hello::decode(&good[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        let mut extra = good.clone();
+        extra.push(0);
+        assert!(Hello::decode(&extra).is_err());
+        let mut h = hello();
+        h.fault_rate = f64::NAN;
+        assert!(Hello::decode(&h.encode()).is_err());
+    }
+
+    #[test]
+    fn records_frame_checks_count_against_bytes() {
+        let recs: Vec<TraceRecord> = vec![
+            TraceRecord {
+                gap: 1,
+                op: itesp_trace::MemOp::Read,
+                vaddr: 64,
+            },
+            TraceRecord {
+                gap: 2,
+                op: itesp_trace::MemOp::Write,
+                vaddr: 128,
+            },
+        ];
+        let payload = encode_records_frame(&recs);
+        let (count, cells) = records_frame_cells(&payload).unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(cells.len(), 2 * itesp_trace::STREAM_CELL);
+        assert!(records_frame_cells(&payload[..payload.len() - 1]).is_err());
+        assert!(records_frame_cells(&payload[..3]).is_err());
+    }
+
+    #[test]
+    fn error_frame_round_trips_code_and_message() {
+        let e = ServeError::Busy;
+        let (code, msg) = decode_error(&encode_error(&e)).unwrap();
+        assert_eq!(code, e.code());
+        assert!(msg.contains("busy"));
+        assert!(decode_error(&[1]).is_err());
+    }
+}

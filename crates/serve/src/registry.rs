@@ -1,0 +1,346 @@
+//! Crash-consistent per-tenant statistics.
+//!
+//! Two sections with deliberately different guarantees:
+//!
+//! * **Tenants** — keyed by tenant id, holding the latest
+//!   [`TenantStats`] per tenant. Every field is a pure function of the
+//!   request bytes, and completion is idempotent on
+//!   `(tenant, request_seq)`: a crash-retry that recomputes a request
+//!   overwrites identically instead of double-counting. This section's
+//!   pretty-printed JSON is the byte-identity artifact the chaos drill
+//!   compares.
+//! * **Operational counters** — admissions, busy rejects, panics,
+//!   timeouts. Honest but *not* deterministic across runs (they depend
+//!   on timing and injected faults), so they are reported separately
+//!   and excluded from the identity comparison.
+//!
+//! Snapshots use the [`itesp_snap`] wire format and store: the drain
+//! path appends the encoded registry to the snapshot/WAL store, and a
+//! restarted daemon recovers via `load_latest_good` + `verify_fresh`
+//! — the same crash-safety and anti-rollback machinery the simulator's
+//! checkpoints use.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use itesp_snap::{SnapError, SnapReader, SnapWriter, SnapshotMeta, SnapshotStore, StoreError};
+use serde::Serialize;
+
+use crate::tenant::TenantStats;
+
+/// Snapshot files retained by the daemon's store.
+pub const KEEP_SNAPSHOTS: usize = 4;
+
+/// Operational (non-deterministic) counters. Plain totals, reported
+/// under the `"counters"` key of the full stats view.
+#[derive(Debug, Default, Serialize)]
+pub struct OpsCounters {
+    pub admitted: u64,
+    pub busy_rejects: u64,
+    pub drain_rejects: u64,
+    pub protocol_errors: u64,
+    pub worker_panics: u64,
+    pub timeouts: u64,
+    pub completed: u64,
+    pub snapshots: u64,
+    pub recovered_seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    admitted: AtomicU64,
+    busy_rejects: AtomicU64,
+    drain_rejects: AtomicU64,
+    protocol_errors: AtomicU64,
+    worker_panics: AtomicU64,
+    timeouts: AtomicU64,
+    completed: AtomicU64,
+    snapshots: AtomicU64,
+    recovered_seq: AtomicU64,
+}
+
+/// The daemon's shared stats registry. Cheap to lock: completions are
+/// per-request, not per-record.
+#[derive(Debug, Default)]
+pub struct Registry {
+    tenants: Mutex<BTreeMap<u64, TenantStats>>,
+    counters: Counters,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed request, idempotently: a stale completion
+    /// (an older `request_seq` racing a retry of a newer one) never
+    /// overwrites a fresher result, and re-completing the same seq
+    /// overwrites with identical bytes.
+    pub fn complete(&self, stats: TenantStats) {
+        let mut tenants = self.tenants.lock().expect("registry lock");
+        let fresh = tenants
+            .get(&stats.tenant)
+            .is_none_or(|prev| stats.request_seq >= prev.request_seq);
+        if fresh {
+            tenants.insert(stats.tenant, stats);
+        }
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count_admitted(&self) {
+        self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn count_busy(&self) {
+        self.counters.busy_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn count_drain_reject(&self) {
+        self.counters.drain_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn count_protocol_error(&self) {
+        self.counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn count_worker_panic(&self) {
+        self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn count_timeout(&self) {
+        self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.counters.completed.load(Ordering::Relaxed)
+    }
+
+    fn counters_view(&self) -> OpsCounters {
+        let c = &self.counters;
+        OpsCounters {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            busy_rejects: c.busy_rejects.load(Ordering::Relaxed),
+            drain_rejects: c.drain_rejects.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            snapshots: c.snapshots.load(Ordering::Relaxed),
+            recovered_seq: c.recovered_seq.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The deterministic section: per-tenant stats as pretty JSON, in
+    /// tenant-id order. Byte-identical across retries, restarts, and
+    /// chaos, given the same completed request set.
+    pub fn deterministic_json(&self) -> String {
+        let tenants = self.tenants.lock().expect("registry lock");
+        serde_json::to_string_pretty(&*tenants).expect("tenant stats serialize")
+    }
+
+    /// Everything: tenants plus operational counters. (Spliced by
+    /// hand — the vendored serde derive cannot express a borrowed
+    /// aggregate struct.)
+    pub fn full_json(&self) -> String {
+        let tenants = self.deterministic_json();
+        let counters =
+            serde_json::to_string_pretty(&self.counters_view()).expect("counters serialize");
+        format!("{{\n  \"tenants\": {tenants},\n  \"counters\": {counters}\n}}")
+    }
+
+    /// Encode the registry into the snapshot wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let tenants = self.tenants.lock().expect("registry lock");
+        let mut w = SnapWriter::new();
+        w.section("SRVT", 1);
+        w.seq(tenants.values(), |w, t| {
+            w.u64(t.tenant);
+            w.u64(t.request_seq);
+            w.str(&t.scheme);
+            w.str(&t.benchmark);
+            w.u64(t.records);
+            w.u64(t.cycles);
+            w.u64(t.baseline_cycles);
+            w.f64(t.slowdown);
+            w.f64(t.meta_per_access);
+            w.u64(t.metadata_cache_accesses);
+            w.u64(t.metadata_cache_hits);
+            w.u64(t.parity_cache_accesses);
+            w.u64(t.parity_cache_hits);
+            w.u64(t.ras_faults_injected);
+            w.u64(t.ras_detections);
+            w.u64(t.ras_corrections);
+            w.u64(t.ras_sdc_events);
+            w.u64(t.ras_due_events);
+        });
+        w.into_bytes()
+    }
+
+    /// Replace this registry's tenants with a decoded snapshot payload.
+    ///
+    /// # Errors
+    /// [`SnapError`] on a corrupt or version-skewed payload.
+    pub fn restore(&self, payload: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(payload);
+        r.section("SRVT", 1)?;
+        let n = r.seq_len("tenants")?;
+        let mut fresh = BTreeMap::new();
+        for _ in 0..n {
+            let t = TenantStats {
+                tenant: r.u64("tenant")?,
+                request_seq: r.u64("request_seq")?,
+                scheme: r.str("scheme")?.to_owned(),
+                benchmark: r.str("benchmark")?.to_owned(),
+                records: r.u64("records")?,
+                cycles: r.u64("cycles")?,
+                baseline_cycles: r.u64("baseline_cycles")?,
+                slowdown: r.f64("slowdown")?,
+                meta_per_access: r.f64("meta_per_access")?,
+                metadata_cache_accesses: r.u64("metadata_cache_accesses")?,
+                metadata_cache_hits: r.u64("metadata_cache_hits")?,
+                parity_cache_accesses: r.u64("parity_cache_accesses")?,
+                parity_cache_hits: r.u64("parity_cache_hits")?,
+                ras_faults_injected: r.u64("ras_faults_injected")?,
+                ras_detections: r.u64("ras_detections")?,
+                ras_corrections: r.u64("ras_corrections")?,
+                ras_sdc_events: r.u64("ras_sdc_events")?,
+                ras_due_events: r.u64("ras_due_events")?,
+            };
+            fresh.insert(t.tenant, t);
+        }
+        r.finish()?;
+        *self.tenants.lock().expect("registry lock") = fresh;
+        Ok(())
+    }
+
+    /// Durably snapshot the registry (the drain path, and every
+    /// `snap_every` completions), pruning to [`KEEP_SNAPSHOTS`].
+    ///
+    /// # Errors
+    /// [`StoreError`] from the underlying store.
+    pub fn snapshot_to(&self, store: &SnapshotStore) -> Result<SnapshotMeta, StoreError> {
+        let meta = store.append(self.completed(), &self.encode())?;
+        store.prune(KEEP_SNAPSHOTS)?;
+        self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(meta)
+    }
+
+    /// Recover from the freshest valid snapshot, enforcing
+    /// anti-rollback against the WAL head. An empty store is a clean
+    /// first boot, not an error.
+    ///
+    /// # Errors
+    /// [`StoreError`] for a corrupt store or a rollback attempt.
+    pub fn recover_from(&self, store: &SnapshotStore) -> Result<Option<SnapshotMeta>, StoreError> {
+        match store.load_latest_good() {
+            Ok((meta, payload, _skipped)) => {
+                store.verify_fresh(meta.seq)?;
+                self.restore(&payload).map_err(|e| StoreError::Torn {
+                    path: store.dir().to_path_buf(),
+                    detail: format!("registry payload: {e}"),
+                })?;
+                self.counters
+                    .recovered_seq
+                    .store(meta.seq, Ordering::Relaxed);
+                Ok(Some(meta))
+            }
+            Err(StoreError::NoSnapshot { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(tenant: u64, seq: u64, cycles: u64) -> TenantStats {
+        TenantStats {
+            tenant,
+            request_seq: seq,
+            scheme: "ITESP".into(),
+            benchmark: "mcf".into(),
+            records: 100,
+            cycles,
+            baseline_cycles: cycles / 2,
+            slowdown: 2.0,
+            meta_per_access: 0.75,
+            metadata_cache_accesses: 9,
+            metadata_cache_hits: 6,
+            parity_cache_accesses: 3,
+            parity_cache_hits: 1,
+            ras_faults_injected: 0,
+            ras_detections: 0,
+            ras_corrections: 0,
+            ras_sdc_events: 0,
+            ras_due_events: 0,
+        }
+    }
+
+    #[test]
+    fn completion_is_idempotent_and_ordered() {
+        let reg = Registry::new();
+        reg.complete(stats(1, 1, 1000));
+        reg.complete(stats(1, 2, 2000));
+        let after_two = reg.deterministic_json();
+        // A crash-retry re-delivers seq 2: identical overwrite.
+        reg.complete(stats(1, 2, 2000));
+        assert_eq!(reg.deterministic_json(), after_two);
+        // A stale straggler (seq 1 finishing late) cannot regress.
+        reg.complete(stats(1, 1, 1000));
+        assert_eq!(reg.deterministic_json(), after_two);
+        // But completions *are* all counted operationally.
+        assert_eq!(reg.completed(), 4);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_byte_identical() {
+        let reg = Registry::new();
+        reg.complete(stats(3, 1, 500));
+        reg.complete(stats(1, 4, 900));
+        let json = reg.deterministic_json();
+
+        let other = Registry::new();
+        other.restore(&reg.encode()).unwrap();
+        assert_eq!(other.deterministic_json(), json);
+    }
+
+    #[test]
+    fn store_recovery_enforces_anti_rollback() {
+        let dir = std::env::temp_dir().join(format!("itesp-serve-reg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir).unwrap();
+
+        let reg = Registry::new();
+        assert!(reg.recover_from(&store).unwrap().is_none(), "clean boot");
+        reg.complete(stats(1, 1, 100));
+        reg.snapshot_to(&store).unwrap();
+        reg.complete(stats(2, 1, 200));
+        reg.snapshot_to(&store).unwrap();
+
+        let fresh = Registry::new();
+        let meta = fresh.recover_from(&store).unwrap().unwrap();
+        assert_eq!(meta.seq, 2);
+        assert_eq!(fresh.deterministic_json(), reg.deterministic_json());
+
+        // Delete the newest snapshot file: recovery must refuse to
+        // present the stale survivor as the latest state.
+        std::fs::remove_file(dir.join(format!("snap-{:016}.bin", 2u64))).unwrap();
+        let err = Registry::new().recover_from(&store).unwrap_err();
+        assert!(matches!(err, StoreError::RollbackDetected { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_typed_error() {
+        let reg = Registry::new();
+        reg.complete(stats(1, 1, 100));
+        // Structural corruption: break the section tag.
+        let mut bytes = reg.encode();
+        bytes[0] ^= 0xFF;
+        assert!(Registry::new().restore(&bytes).is_err());
+        // Truncation mid-record.
+        let mut bytes = reg.encode();
+        bytes.truncate(bytes.len() - 3);
+        assert!(Registry::new().restore(&bytes).is_err());
+        assert!(Registry::new().restore(b"junk").is_err());
+    }
+}

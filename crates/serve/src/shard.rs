@@ -1,0 +1,270 @@
+//! Sharded engine workers with bounded queues and panic isolation.
+//!
+//! Tenants hash to shards (`tenant % shards`), each shard is one
+//! worker thread draining a bounded queue, and every job runs under
+//! [`itesp_orchestrate::run_policied`] — the same watchdog/retry/
+//! backoff machinery the batch campaigns use. A panicking simulation
+//! (injected by the chaos harness, or a real bug) is caught inside the
+//! policy, surfaces as a typed outcome to exactly one client, and the
+//! shard keeps serving.
+//!
+//! Admission control and backpressure are both the `pending` counter:
+//! a connection must win a reservation (`try_admit`) *before* the
+//! daemon reads its trace stream, and a full shard answers `Busy`
+//! immediately — the socket of an unadmitted client is never read
+//! further, which is the backpressure.
+//!
+//! Workers — not connection handlers — write completions into the
+//! [`Registry`] and drop the reservation, so "all reservations
+//! released" implies "registry fully up to date": the invariant the
+//! SIGTERM drain snapshot relies on. The client connection may be long
+//! gone by then; the result still lands in the registry, and the
+//! tenant's retry after reconnecting recomputes byte-identical stats.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use itesp_orchestrate::{run_policied, JobOutcome, JobPolicy};
+use itesp_snap::SnapshotStore;
+
+use crate::registry::Registry;
+use crate::tenant::{run_tenant, TenantRequest, TenantStats};
+
+use crate::error::ServeError;
+
+/// What a connection handler gets back for one submitted request.
+pub type Outcome = JobOutcome<Result<TenantStats, ServeError>>;
+
+struct Job {
+    req: TenantRequest,
+    reply: mpsc::Sender<Outcome>,
+}
+
+struct Shard {
+    tx: SyncSender<Job>,
+    /// Reservations outstanding: admitted, queued, or running.
+    pending: Arc<AtomicUsize>,
+}
+
+/// The daemon's worker pool.
+pub struct ShardPool {
+    shards: Vec<Shard>,
+    capacity: usize,
+}
+
+impl ShardPool {
+    /// Spawn `shards` workers, each admitting at most `queue_depth`
+    /// outstanding requests. Completions land in `registry`; every
+    /// `snap_every` completions the registry is snapshotted to
+    /// `store` (when present).
+    pub fn spawn(
+        shards: usize,
+        queue_depth: usize,
+        policy: JobPolicy,
+        registry: Arc<Registry>,
+        store: Option<Arc<Mutex<SnapshotStore>>>,
+        snap_every: u64,
+    ) -> Self {
+        let shards = shards.max(1);
+        let capacity = queue_depth.max(1);
+        let built = (0..shards)
+            .map(|i| {
+                let (tx, rx) = mpsc::sync_channel::<Job>(capacity);
+                let pending = Arc::new(AtomicUsize::new(0));
+                let worker_pending = Arc::clone(&pending);
+                let registry = Arc::clone(&registry);
+                let store = store.clone();
+                let policy = policy.clone();
+                thread::Builder::new()
+                    .name(format!("itesp-shard-{i}"))
+                    .spawn(move || {
+                        worker_loop(rx, policy, registry, store, snap_every, worker_pending)
+                    })
+                    .expect("spawn shard worker");
+                Shard { tx, pending }
+            })
+            .collect();
+        ShardPool {
+            shards: built,
+            capacity,
+        }
+    }
+
+    /// Which shard serves a tenant.
+    pub fn shard_of(&self, tenant: u64) -> usize {
+        (tenant % self.shards.len() as u64) as usize
+    }
+
+    /// Reserve a slot on the tenant's shard, or report `Busy`. The
+    /// returned token releases the reservation when dropped unarmed
+    /// (the connection died before `End`), or hands it to the worker
+    /// on [`AdmitToken::submit`].
+    pub fn try_admit(&self, tenant: u64) -> Result<AdmitToken<'_>, ServeError> {
+        let shard = &self.shards[self.shard_of(tenant)];
+        let admitted = shard
+            .pending
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| {
+                (p < self.capacity).then_some(p + 1)
+            })
+            .is_ok();
+        if !admitted {
+            return Err(ServeError::Busy);
+        }
+        Ok(AdmitToken { shard, armed: true })
+    }
+
+    /// Reservations outstanding across all shards (0 = fully drained).
+    pub fn pending_total(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.pending.load(Ordering::Acquire))
+            .sum()
+    }
+}
+
+/// A won admission reservation, tied to one shard.
+pub struct AdmitToken<'a> {
+    shard: &'a Shard,
+    armed: bool,
+}
+
+impl AdmitToken<'_> {
+    /// Hand the request to the shard worker. The reservation now
+    /// belongs to the worker, which releases it after the completion
+    /// is registered. Returns the channel the outcome arrives on.
+    pub fn submit(mut self, req: TenantRequest) -> Receiver<Outcome> {
+        let (reply, outcome_rx) = mpsc::channel();
+        let mut job = Job { req, reply };
+        self.armed = false;
+        loop {
+            match self.shard.tx.try_send(job) {
+                Ok(()) => return outcome_rx,
+                // The reservation bounds outstanding jobs at the
+                // channel's capacity, so a full queue is transient
+                // (the worker is between recv and done); block briefly
+                // — this is backpressure, not an error.
+                Err(TrySendError::Full(j)) => {
+                    job = j;
+                    thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(TrySendError::Disconnected(j)) => {
+                    // Worker gone (only during teardown): report as a
+                    // panic outcome so the client sees a typed error.
+                    self.shard.pending.fetch_sub(1, Ordering::AcqRel);
+                    let _ = j.reply.send(JobOutcome::Panicked {
+                        message: "shard worker unavailable".into(),
+                        attempts: 0,
+                    });
+                    return outcome_rx;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for AdmitToken<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shard.pending.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+fn worker_loop(
+    rx: mpsc::Receiver<Job>,
+    policy: JobPolicy,
+    registry: Arc<Registry>,
+    store: Option<Arc<Mutex<SnapshotStore>>>,
+    snap_every: u64,
+    pending: Arc<AtomicUsize>,
+) {
+    while let Ok(job) = rx.recv() {
+        let req = job.req;
+        let outcome: Outcome = run_policied(&policy, move || run_tenant(&req));
+        match &outcome {
+            JobOutcome::Ok(Ok(stats)) => {
+                registry.complete(stats.clone());
+                if let Some(store) = &store {
+                    if snap_every > 0 && registry.completed().is_multiple_of(snap_every) {
+                        let store = store.lock().expect("snapshot store lock");
+                        if let Err(e) = registry.snapshot_to(&store) {
+                            eprintln!("[serve: periodic snapshot failed: {e}]");
+                        }
+                    }
+                }
+            }
+            JobOutcome::Ok(Err(_)) => {}
+            JobOutcome::Panicked { .. } => registry.count_worker_panic(),
+            JobOutcome::TimedOut { .. } => registry.count_timeout(),
+            JobOutcome::Skipped => {}
+        }
+        // Release the reservation only after the registry is updated
+        // (the drain path treats pending == 0 as "stats are final"),
+        // and before the reply, so a caller woken by `recv` observes
+        // both the registry write and the freed slot.
+        pending.fetch_sub(1, Ordering::AcqRel);
+        let _ = job.reply.send(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Hello, PROTOCOL_VERSION};
+    use itesp_trace::{benchmark, TraceRecord, WorkloadGen};
+
+    fn request(tenant: u64, ops: usize) -> TenantRequest {
+        let b = benchmark("mcf").unwrap();
+        let records: Vec<TraceRecord> = WorkloadGen::for_benchmark(b, tenant).take(ops).collect();
+        TenantRequest {
+            hello: Hello {
+                version: PROTOCOL_VERSION,
+                tenant,
+                request_seq: 1,
+                seed: tenant,
+                scheme: "ITESP".into(),
+                benchmark: "mcf".into(),
+                working_set_mb: b.working_set_mb,
+                fault_rate: 0.0,
+            },
+            records,
+        }
+    }
+
+    #[test]
+    fn admission_bounds_and_busy_rejection() {
+        let registry = Arc::new(Registry::new());
+        let pool = ShardPool::spawn(1, 2, JobPolicy::serial(), registry, None, 0);
+        let t1 = pool.try_admit(1).unwrap();
+        let _t2 = pool.try_admit(1).unwrap();
+        assert!(matches!(pool.try_admit(1), Err(ServeError::Busy)));
+        // Dropping an unarmed token releases the slot.
+        drop(t1);
+        assert!(pool.try_admit(1).is_ok());
+    }
+
+    #[test]
+    fn jobs_complete_into_the_registry() {
+        let registry = Arc::new(Registry::new());
+        let pool = ShardPool::spawn(2, 4, JobPolicy::serial(), Arc::clone(&registry), None, 0);
+        let rx = pool.try_admit(5).unwrap().submit(request(5, 200));
+        let outcome = rx.recv().unwrap();
+        let stats = outcome.ok().unwrap().unwrap();
+        assert_eq!(stats.tenant, 5);
+        assert_eq!(registry.completed(), 1);
+        // Reservation released only after registration.
+        assert_eq!(pool.pending_total(), 0);
+    }
+
+    #[test]
+    fn tenants_land_on_stable_shards() {
+        let registry = Arc::new(Registry::new());
+        let pool = ShardPool::spawn(3, 1, JobPolicy::serial(), registry, None, 0);
+        assert_eq!(pool.shard_of(0), 0);
+        assert_eq!(pool.shard_of(7), 1);
+        assert_eq!(pool.shard_of(8), 2);
+        assert_eq!(pool.shard_of(7), pool.shard_of(7));
+    }
+}

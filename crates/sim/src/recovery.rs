@@ -37,8 +37,9 @@ use crate::system::{System, CPU_PER_DRAM_CYCLE};
 /// Default CPU cycles between snapshot captures.
 pub const DEFAULT_SNAPSHOT_EVERY: u64 = 200_000;
 
-/// Snapshot files kept on disk; older ones are pruned (the WAL is
-/// never pruned — it is the rollback evidence).
+/// Snapshot files kept on disk; older ones are pruned, and the WAL is
+/// compacted to the retained suffix (the head — the rollback evidence
+/// — always survives).
 const KEEP_SNAPSHOTS: usize = 4;
 
 /// Where and how often a run checkpoints.

@@ -25,8 +25,11 @@
 //! no replay: [`SnapshotStore::verify_fresh`] compares a snapshot's
 //! sequence number against the WAL head and returns
 //! [`StoreError::RollbackDetected`] when the snapshot is stale. The
-//! WAL outlives snapshot pruning, so even deleting newer snapshot
-//! files cannot hide that fresher state existed.
+//! WAL *head* outlives snapshot pruning, so even deleting newer
+//! snapshot files cannot hide that fresher state existed. Pruning
+//! compacts the WAL down to the records covering retained snapshots
+//! (never less than the head), keeping `wal.log` bounded on a
+//! long-running daemon without weakening the rollback check.
 
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
@@ -345,8 +348,17 @@ impl SnapshotStore {
         Ok(())
     }
 
-    /// Delete all but the newest `keep` snapshot files. The WAL is
-    /// never pruned: it is the rollback evidence.
+    /// Delete all but the newest `keep` snapshot files, then compact
+    /// the WAL down to the records at or past the oldest *retained*
+    /// snapshot (always at least the head — the rollback evidence), so
+    /// `wal.log` stays bounded on a long-running daemon instead of
+    /// growing one record per snapshot forever.
+    ///
+    /// The compacted log is written to a temp file, fsync'd, renamed
+    /// over `wal.log`, and the directory fsync'd — a crash at any point
+    /// leaves either the old or the new log, both valid. The record
+    /// format is unchanged, so torn-tail detection and repair work
+    /// exactly as before; sequence numbers simply no longer start at 1.
     pub fn prune(&self, keep: usize) -> Result<(), StoreError> {
         let records = self.wal_records()?;
         if records.len() <= keep {
@@ -359,6 +371,30 @@ impl SnapshotStore {
                 Err(e) => return Err(e.into()),
             }
         }
+        sync_dir(&self.dir)?;
+
+        // Compact: keep the suffix covering retained snapshots, never
+        // less than the head. Acknowledgements for snapshots that no
+        // longer exist serve no recovery purpose — freshness only ever
+        // compares against the head, which survives by construction.
+        let retained = &records[records.len() - keep.max(1)..];
+        let mut body = Vec::with_capacity(retained.len() * WAL_RECORD);
+        for rec in retained {
+            let mut raw = Vec::with_capacity(WAL_RECORD);
+            raw.extend_from_slice(WAL_MAGIC);
+            raw.extend_from_slice(&rec.seq.to_le_bytes());
+            raw.extend_from_slice(&rec.cycle.to_le_bytes());
+            let crc = crc32(&raw);
+            raw.extend_from_slice(&crc.to_le_bytes());
+            body.extend_from_slice(&raw);
+        }
+        let tmp = self.dir.join(format!("wal.tmp.{}", std::process::id()));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&body)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.wal_path())?;
         sync_dir(&self.dir)?;
         Ok(())
     }
@@ -513,7 +549,7 @@ mod tests {
     }
 
     #[test]
-    fn prune_keeps_newest_and_wal_intact() {
+    fn prune_keeps_newest_and_compacts_wal() {
         let store = temp_store("prune");
         for c in 1..=5u64 {
             store.append(c * 10, format!("v{c}").as_bytes()).unwrap();
@@ -522,8 +558,72 @@ mod tests {
         assert!(store.load(3).is_err());
         assert!(store.load(4).is_ok());
         assert!(store.load(5).is_ok());
-        // WAL history survives pruning.
-        assert_eq!(store.wal_records().unwrap().len(), 5);
+        // The WAL is compacted to the retained suffix; the head (the
+        // rollback evidence) survives, so freshness still works.
+        let records = store.wal_records().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], WalRecord { seq: 4, cycle: 40 });
+        assert_eq!(records[1], WalRecord { seq: 5, cycle: 50 });
+        store.verify_fresh(5).unwrap();
+        assert!(matches!(
+            store.verify_fresh(4),
+            Err(StoreError::RollbackDetected { wal_seq: 5, .. })
+        ));
+        // Appends continue the sequence from the compacted head.
+        let m = store.append(60, b"v6").unwrap();
+        assert_eq!(m.seq, 6);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn wal_stays_bounded_under_periodic_pruning() {
+        let store = temp_store("walbound");
+        let wal = store.dir().join("wal.log");
+        for c in 1..=40u64 {
+            store.append(c, b"state").unwrap();
+            store.prune(3).unwrap();
+        }
+        // 3 retained records x 24 bytes, regardless of history length.
+        assert_eq!(fs::metadata(&wal).unwrap().len(), 3 * WAL_RECORD as u64);
+        assert_eq!(store.wal_head().unwrap().unwrap().seq, 40);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn prune_zero_retains_the_head_record() {
+        let store = temp_store("prunezero");
+        for c in 1..=3u64 {
+            store.append(c * 10, b"v").unwrap();
+        }
+        store.prune(0).unwrap();
+        // All snapshot files are gone, but the head acknowledgement
+        // survives: a stale snapshot still cannot pose as fresh.
+        assert!(store.load(3).is_err());
+        let records = store.wal_records().unwrap();
+        assert_eq!(records, vec![WalRecord { seq: 3, cycle: 30 }]);
+        assert!(matches!(
+            store.verify_fresh(2),
+            Err(StoreError::RollbackDetected { wal_seq: 3, .. })
+        ));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn torn_tail_repair_survives_compaction() {
+        let store = temp_store("prunetear");
+        for c in 1..=4u64 {
+            store.append(c * 10, b"v").unwrap();
+        }
+        store.prune(2).unwrap();
+        // Crash mid-append after a compaction: half a record at the tail.
+        let wal = store.dir().join("wal.log");
+        let mut bytes = fs::read(&wal).unwrap();
+        bytes.extend_from_slice(b"ITWL\x07\x00");
+        fs::write(&wal, &bytes).unwrap();
+        assert_eq!(store.wal_records().unwrap().len(), 2);
+        let m = store.append(50, b"v5").unwrap();
+        assert_eq!(m.seq, 5);
+        assert_eq!(store.wal_records().unwrap().len(), 3);
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -18,6 +18,12 @@ pub enum TraceError {
     LocalityExponentBelowOne { exponent: f64 },
     /// A multi-program mix was requested with zero programs.
     EmptyMix,
+    /// A streamed trace cell carried an op byte that is neither 0
+    /// (read) nor 1 (write).
+    StreamBadOp { op: u8 },
+    /// A streamed trace ended mid-cell (client disconnect or
+    /// truncation); `len` bytes of the final cell arrived.
+    StreamTrailingBytes { len: usize },
 }
 
 impl std::fmt::Display for TraceError {
@@ -35,6 +41,12 @@ impl std::fmt::Display for TraceError {
                 "locality exponent must be >= 1 (1 = uniform), got {exponent}"
             ),
             TraceError::EmptyMix => write!(f, "multi-program mix needs at least one benchmark"),
+            TraceError::StreamBadOp { op } => {
+                write!(f, "streamed trace cell has invalid op byte {op} (want 0|1)")
+            }
+            TraceError::StreamTrailingBytes { len } => {
+                write!(f, "streamed trace ended mid-cell with {len} trailing bytes")
+            }
         }
     }
 }

@@ -30,6 +30,7 @@ pub mod error;
 pub mod multiprog;
 pub mod pages;
 pub mod record;
+pub mod stream;
 pub mod suites;
 pub mod workload;
 
@@ -38,6 +39,7 @@ pub use error::TraceError;
 pub use multiprog::MultiProgram;
 pub use pages::{FreeListModel, PageMapper, Translation};
 pub use record::{MemOp, PhysRecord, TraceRecord, PAGE_BYTES, PAGE_SHIFT};
+pub use stream::{encode_records, StreamDecoder, STREAM_CELL};
 pub use suites::{
     benchmark, benchmark_or_err, memory_intensive, AccessPattern, Benchmark, Suite, BENCHMARKS,
 };

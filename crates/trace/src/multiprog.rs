@@ -119,6 +119,35 @@ impl MultiProgram {
         ))
     }
 
+    /// Page-map externally supplied virtual traces — the serving path,
+    /// where tenants *stream* their records instead of naming a Table
+    /// IV generator. Uses the same fragmented free-list model as
+    /// [`Self::homogeneous`], so a streamed copy of a generated trace
+    /// lands on byte-identical physical addresses.
+    ///
+    /// # Errors
+    /// [`TraceError::EmptyMix`] when `virt` holds no programs.
+    pub fn from_virtual(
+        virt: Vec<Vec<TraceRecord>>,
+        name: &str,
+        working_set_mb: u64,
+    ) -> Result<Self, TraceError> {
+        if virt.is_empty() {
+            return Err(TraceError::EmptyMix);
+        }
+        let copies = virt.len();
+        Ok(Self::map_round_robin(
+            virt,
+            name,
+            working_set_mb,
+            copies,
+            FreeListModel::Fragmented {
+                mean_extent_pages: 4.0,
+                seed: 0x9A6E_5EED,
+            },
+        ))
+    }
+
     /// Page-map pre-generated virtual traces with interleaved first touch.
     fn map_round_robin(
         virt: Vec<Vec<TraceRecord>>,
@@ -251,6 +280,25 @@ mod tests {
             cross as f64 / total as f64 > 0.5,
             "pages not interleaved: {cross}/{total}"
         );
+    }
+
+    #[test]
+    fn from_virtual_matches_homogeneous_mapping() {
+        // A tenant that streams the same virtual records a local
+        // generator would produce must land on the same physical trace
+        // — the property the serve-mode byte-identity drill rests on.
+        let b = benchmark("mcf").unwrap();
+        let local = MultiProgram::homogeneous(b, 1, 800, 42);
+        let virt: Vec<TraceRecord> =
+            crate::workload::WorkloadGen::for_benchmark(b, 42 ^ 0x9E37_79B9_7F4A_7C15u64)
+                .take(800)
+                .collect();
+        let streamed = MultiProgram::from_virtual(vec![virt], "mcf", b.working_set_mb).unwrap();
+        assert_eq!(streamed.traces, local.traces);
+        assert!(matches!(
+            MultiProgram::from_virtual(vec![], "x", 1),
+            Err(TraceError::EmptyMix)
+        ));
     }
 
     #[test]

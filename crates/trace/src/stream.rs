@@ -1,0 +1,163 @@
+//! Streamed trace decoding for the serving endpoint.
+//!
+//! `itesp-serve` clients ship virtual traces over TCP as a sequence of
+//! fixed-size cells rather than as one serialized blob, so the daemon
+//! can decode incrementally, enforce caps before buffering a whole
+//! request, and detect a disconnect mid-cell. The wire cell is 13
+//! little-endian bytes:
+//!
+//! ```text
+//! gap: u32 | op: u8 (0 = read, 1 = write) | vaddr: u64
+//! ```
+//!
+//! [`StreamDecoder`] accepts arbitrary byte chunks (frames split cells
+//! wherever the sender's buffering happened to cut them) and yields
+//! complete [`TraceRecord`]s; anything malformed is a typed
+//! [`TraceError`], never a panic.
+
+use crate::error::TraceError;
+use crate::record::{MemOp, TraceRecord};
+
+/// Bytes per wire cell.
+pub const STREAM_CELL: usize = 13;
+
+/// Encode records into the wire format (the client side).
+pub fn encode_records(records: &[TraceRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * STREAM_CELL);
+    for r in records {
+        out.extend_from_slice(&r.gap.to_le_bytes());
+        out.push(match r.op {
+            MemOp::Read => 0,
+            MemOp::Write => 1,
+        });
+        out.extend_from_slice(&r.vaddr.to_le_bytes());
+    }
+    out
+}
+
+/// Incremental decoder: push byte chunks as they arrive, collect
+/// complete records, and call [`StreamDecoder::finish`] at end of
+/// stream to reject a trailing partial cell (a disconnect mid-cell).
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    /// Carry of the last partial cell (always < [`STREAM_CELL`] long).
+    carry: Vec<u8>,
+    decoded: u64,
+}
+
+impl StreamDecoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records decoded so far (for cap enforcement as bytes stream in).
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Decode every complete cell in `chunk` (plus any carried prefix)
+    /// into `out`, keeping the trailing partial cell for the next push.
+    ///
+    /// # Errors
+    /// [`TraceError::StreamBadOp`] on an op byte that is neither 0 nor
+    /// 1 — the stream is corrupt and the connection should be failed.
+    pub fn push(&mut self, chunk: &[u8], out: &mut Vec<TraceRecord>) -> Result<(), TraceError> {
+        self.carry.extend_from_slice(chunk);
+        let cells = self.carry.len() / STREAM_CELL;
+        for cell in self.carry[..cells * STREAM_CELL].chunks_exact(STREAM_CELL) {
+            let gap = u32::from_le_bytes(cell[0..4].try_into().expect("4-byte slice"));
+            let op = match cell[4] {
+                0 => MemOp::Read,
+                1 => MemOp::Write,
+                op => return Err(TraceError::StreamBadOp { op }),
+            };
+            let vaddr = u64::from_le_bytes(cell[5..13].try_into().expect("8-byte slice"));
+            out.push(TraceRecord { gap, op, vaddr });
+            self.decoded += 1;
+        }
+        self.carry.drain(..cells * STREAM_CELL);
+        Ok(())
+    }
+
+    /// End of stream: total records decoded, or a typed error if the
+    /// sender stopped mid-cell.
+    ///
+    /// # Errors
+    /// [`TraceError::StreamTrailingBytes`] when a partial cell remains.
+    pub fn finish(self) -> Result<u64, TraceError> {
+        if self.carry.is_empty() {
+            Ok(self.decoded)
+        } else {
+            Err(TraceError::StreamTrailingBytes {
+                len: self.carry.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::benchmark;
+    use crate::workload::WorkloadGen;
+
+    fn sample(n: usize) -> Vec<TraceRecord> {
+        WorkloadGen::for_benchmark(benchmark("mcf").unwrap(), 7)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_whole_buffer() {
+        let records = sample(500);
+        let wire = encode_records(&records);
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        dec.push(&wire, &mut out).unwrap();
+        assert_eq!(dec.finish().unwrap(), 500);
+        assert_eq!(out, records);
+    }
+
+    #[test]
+    fn round_trips_under_any_chunking() {
+        let records = sample(64);
+        let wire = encode_records(&records);
+        // Chunk sizes deliberately misaligned with the 13-byte cell.
+        for chunk in [1usize, 2, 3, 5, 7, 12, 13, 14, 64, 1000] {
+            let mut dec = StreamDecoder::new();
+            let mut out = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.push(piece, &mut out).unwrap();
+            }
+            assert_eq!(dec.finish().unwrap(), 64, "chunk size {chunk}");
+            assert_eq!(out, records, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn bad_op_byte_is_a_typed_error() {
+        let mut wire = encode_records(&sample(2));
+        wire[4] = 9; // first cell's op byte
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        assert_eq!(
+            dec.push(&wire, &mut out),
+            Err(TraceError::StreamBadOp { op: 9 })
+        );
+    }
+
+    #[test]
+    fn partial_trailing_cell_is_a_typed_error() {
+        let wire = encode_records(&sample(3));
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        dec.push(&wire[..wire.len() - 5], &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            dec.finish(),
+            Err(TraceError::StreamTrailingBytes {
+                len: STREAM_CELL - 5
+            })
+        );
+    }
+}
