@@ -39,12 +39,15 @@ const TARGETS: &[&str] = &[
     "figpareto",
     "figrecover",
     "figserve",
+    "figmigrate",
 ];
 
-/// The serve drill runs live daemons with kills and drains; when no
-/// explicit `--target-timeout` is set, cap it so a wedged daemon or a
-/// client stuck in a retry loop cannot hang the whole regeneration.
-const FIGSERVE_DEADLINE: Duration = Duration::from_secs(600);
+/// The serve and migrate drills run live processes with kills and
+/// drains; when no explicit `--target-timeout` is set, cap them so a
+/// wedged daemon, a client stuck in a retry loop, or a frozen drill
+/// child cannot hang the whole regeneration.
+const DRILL_DEADLINE: Duration = Duration::from_secs(600);
+const DRILL_TARGETS: &[&str] = &["figserve", "figmigrate"];
 
 #[derive(Serialize)]
 struct TargetReport {
@@ -303,7 +306,8 @@ fn main() {
                 // recomputing completed jobs.
                 args.push("--resume".to_owned());
             }
-            let child_timeout = timeout.or_else(|| (*t == "figserve").then_some(FIGSERVE_DEADLINE));
+            let child_timeout =
+                timeout.or_else(|| DRILL_TARGETS.contains(t).then_some(DRILL_DEADLINE));
             let status = run_child(&dir.join(t), &args, child_timeout);
             if status.is_ok() || attempts > retries {
                 break status;

@@ -298,6 +298,32 @@ impl EngineConfig {
         }
         Ok(())
     }
+
+    /// A 64-bit digest of every field that decides engine geometry —
+    /// the same fields [`SecurityEngine::load_state`] compares before
+    /// accepting a snapshot. Two engines with equal fingerprints can
+    /// exchange serialized security state; the migration protocol
+    /// checks this before installing an enclave on a destination node.
+    pub fn fingerprint(&self) -> u64 {
+        let key = crate::mac::MacKey {
+            k0: 0x4954_4553_5021_4647, // "ITESP!FG"
+            k1: 0x636f_6e66_6967_6670, // "configfp"
+        };
+        let mut msg = Vec::with_capacity(72);
+        msg.extend_from_slice(self.scheme.label().as_bytes());
+        for v in [
+            self.enclaves as u64,
+            self.data_capacity,
+            self.enclave_capacity,
+            self.metadata_cache_bytes as u64,
+            self.cache_ways as u64,
+            u64::from(self.model_overflow),
+            self.rank_stride_blocks,
+        ] {
+            msg.extend_from_slice(&v.to_le_bytes());
+        }
+        crate::mac::siphash24(&key, &msg)
+    }
 }
 
 /// Traffic and classification statistics for one run.
@@ -796,6 +822,19 @@ mod tests {
 
     fn engine(scheme: Scheme) -> SecurityEngine {
         SecurityEngine::new(EngineConfig::paper_default(scheme))
+    }
+
+    #[test]
+    fn fingerprint_separates_configurations() {
+        let base = EngineConfig::paper_default(Scheme::Itesp);
+        assert_eq!(base.fingerprint(), base.fingerprint());
+        let mut other = base;
+        other.enclave_capacity *= 2;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            EngineConfig::paper_default(Scheme::ItVault).fingerprint()
+        );
     }
 
     #[test]

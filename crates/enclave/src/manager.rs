@@ -82,6 +82,13 @@ impl Enclave {
         &self.allocator
     }
 
+    /// Iterate the live page map in ascending vpage order. Cluster
+    /// drivers use this for placement-independent checksums (vpage,
+    /// leaf, counter — never the node-local physical frame).
+    pub fn iter_pages(&self) -> impl Iterator<Item = (u64, PageInfo)> + '_ {
+        self.pages.iter().map(|(&vpage, &info)| (vpage, info))
+    }
+
     /// Serialize one enclave's mutable state. The MAC key is *not*
     /// serialized: it re-derives from the manager's master key and the
     /// enclave id, so snapshot bytes never carry key material.
@@ -215,13 +222,36 @@ impl EnclaveManager {
         slot: usize,
         footprint_pages: u64,
     ) -> (EnclaveId, Vec<MetaAccess>) {
+        self.create_with_id(engine, slot, footprint_pages, EnclaveId(self.next_id))
+    }
+
+    /// [`Self::create`] with a caller-chosen identity. A cluster-level
+    /// directory hands out globally unique ids so the same tenant
+    /// derives the same MAC key on every node; the manager only
+    /// enforces its local never-reuse watermark.
+    ///
+    /// # Panics
+    /// Panics if the slot is occupied or the id is below an id this
+    /// manager has already issued (local reuse).
+    pub fn create_with_id(
+        &mut self,
+        engine: &mut SecurityEngine,
+        slot: usize,
+        footprint_pages: u64,
+        id: EnclaveId,
+    ) -> (EnclaveId, Vec<MetaAccess>) {
         assert!(
             self.slots[slot].is_none(),
             "slot {slot} already holds a live enclave"
         );
         assert!(footprint_pages > 0, "an enclave needs at least one page");
-        let id = EnclaveId(self.next_id);
-        self.next_id += 1;
+        assert!(
+            id.0 >= self.next_id,
+            "id {} was already issued by this manager (next is {})",
+            id.0,
+            self.next_id
+        );
+        self.next_id = id.0 + 1;
         let tree_pages = (footprint_pages / 4).max(1);
         let part = Self::part(engine, slot);
         let mut traffic = engine.install_tree(part, tree_pages * PAGE_BLOCKS);
@@ -370,6 +400,57 @@ impl EnclaveManager {
 
     pub fn stats(&self) -> LifecycleStats {
         self.stats
+    }
+
+    /// Serialize one slot's enclave into `w` for a migration blob:
+    /// tree geometry, page map, counters, and the leaf-id namespace —
+    /// **never the MAC key**, which re-derives from the destination
+    /// manager's master. Returns the enclave's id, or `None` for an
+    /// empty slot. The enclave stays live at the source; migration
+    /// freezes it by simply not driving it while the blob is in
+    /// flight.
+    pub fn export_enclave(&self, slot: usize, w: &mut SnapWriter) -> Option<EnclaveId> {
+        let enc = self.slots[slot].as_ref()?;
+        enc.save_state(w);
+        Some(enc.id())
+    }
+
+    /// Install an enclave serialized by [`Self::export_enclave`] into
+    /// an empty slot: re-derive its key from this manager's master,
+    /// remap every physical frame through `remap_frame` (frames are
+    /// node-local; the transferred page map carries source frames),
+    /// rebuild a private tree of the transferred geometry, and
+    /// repartition the caches. Lifecycle stats are untouched — a
+    /// migration is not a create; callers account it separately.
+    ///
+    /// # Panics
+    /// Panics if the slot is occupied.
+    ///
+    /// # Errors
+    /// [`SnapError`] if the blob doesn't decode.
+    pub fn import_enclave(
+        &mut self,
+        engine: &mut SecurityEngine,
+        slot: usize,
+        r: &mut SnapReader,
+        mut remap_frame: impl FnMut(u64) -> u64,
+    ) -> Result<(EnclaveId, Vec<MetaAccess>), SnapError> {
+        assert!(
+            self.slots[slot].is_none(),
+            "slot {slot} already holds a live enclave"
+        );
+        let mut enc = Enclave::load_state(r, self.master)?;
+        for info in enc.pages.values_mut() {
+            info.ppage = remap_frame(info.ppage);
+        }
+        let id = enc.id();
+        self.next_id = self.next_id.max(id.0 + 1);
+        let part = Self::part(engine, slot);
+        let mut traffic = engine.install_tree(part, enc.tree_pages * PAGE_BLOCKS);
+        self.slots[slot] = Some(enc);
+        let mask = self.mask(engine);
+        traffic.extend(engine.repartition_caches(&mask));
+        Ok((id, traffic))
     }
 
     /// Serialize the full lifecycle state: every slot's enclave, the
@@ -576,6 +657,54 @@ mod tests {
         assert!(free_t
             .iter()
             .any(|a| a.kind == MetaKind::Tree && a.is_write));
+    }
+
+    #[test]
+    fn export_import_moves_an_enclave_without_key_material() {
+        let master = 0xBEEF;
+        let mut e_src = engine(Scheme::Itesp);
+        let mut m_src = EnclaveManager::new(4, master);
+        let (id, _) = m_src.create_with_id(&mut e_src, 1, 16, EnclaveId(7));
+        assert_eq!(id, EnclaveId(7));
+        let (leaf, _) = m_src.touch_page(&mut e_src, 1, 3, 500);
+        m_src.record_write(1, 3);
+        m_src.record_write(1, 3);
+        m_src.free_page(&mut e_src, 1, 3);
+        m_src.touch_page(&mut e_src, 1, 4, 501);
+
+        let mut w = SnapWriter::new();
+        assert_eq!(m_src.export_enclave(1, &mut w), Some(id));
+        assert!(m_src.export_enclave(0, &mut SnapWriter::new()).is_none());
+        let blob = w.into_bytes();
+
+        // The destination remaps frames into its own namespace and
+        // re-derives the key from the shared master.
+        let mut e_dst = engine(Scheme::Itesp);
+        let mut m_dst = EnclaveManager::new(4, master);
+        let mut r = SnapReader::new(&blob);
+        let (got, traffic) = m_dst
+            .import_enclave(&mut e_dst, 2, &mut r, |old| old + 1000)
+            .unwrap();
+        assert_eq!(got, id);
+        assert!(!traffic.is_empty(), "import rebuilds the private tree");
+        let enc = m_dst.enclave(2).unwrap();
+        assert_eq!(enc.page(4).unwrap().ppage, 1501);
+        assert_eq!(enc.leaf_of(4), Some(leaf), "recycled leaf survives");
+        assert_eq!(m_dst.counter_of(2, leaf), Some(0), "reset survives");
+        assert_eq!(m_dst.key_of(2), m_src.key_of(1), "same master, same key");
+        // next_id watermark advances past the imported id.
+        let (next, _) = m_dst.create(&mut e_dst, 0, 8);
+        assert!(next.0 > 7);
+
+        // A different master derives a different key: the blob itself
+        // carries no key material.
+        let mut e_other = engine(Scheme::Itesp);
+        let mut m_other = EnclaveManager::new(4, master ^ 1);
+        let mut r = SnapReader::new(&blob);
+        m_other
+            .import_enclave(&mut e_other, 0, &mut r, |old| old)
+            .unwrap();
+        assert_ne!(m_other.key_of(0), m_src.key_of(1));
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! The cluster directory: who lives where, at which migration epoch.
+//!
+//! One entry per admitted tenant. The *epoch* starts at 1 on admission
+//! and is bumped exactly once per committed migration; a blob carries
+//! the epoch current at its capture, so the directory can refuse any
+//! blob whose epoch is not exactly current — stale captures (dead
+//! nodes, replayed transfers) fail typed, fresh in-flight blobs pass.
+
+use std::collections::BTreeMap;
+
+use itesp_snap::{SnapError, SnapReader, SnapWriter};
+
+use crate::error::MigrateError;
+use crate::proto::BlobHeader;
+
+/// Where the directory believes a tenant is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residence {
+    /// Live on one node (the only state that executes ops).
+    Live { node: usize },
+    /// Frozen at `from`, blob in flight to `to`.
+    Migrating { from: usize, to: usize },
+    /// Script complete; the enclave was torn down.
+    Done,
+}
+
+/// One tenant's directory record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Migration epoch: 1 at admission, +1 per committed migration.
+    pub epoch: u64,
+    pub residence: Residence,
+}
+
+/// The cluster-global tenant directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Directory {
+    entries: BTreeMap<u64, DirEntry>,
+}
+
+impl Directory {
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Record a tenant's admission onto `node` at epoch 1.
+    ///
+    /// # Panics
+    /// Panics if the tenant was admitted before — cluster-global ids
+    /// are never reused.
+    pub fn admit(&mut self, tenant: u64, node: usize) {
+        let prior = self.entries.insert(
+            tenant,
+            DirEntry {
+                epoch: 1,
+                residence: Residence::Live { node },
+            },
+        );
+        assert!(prior.is_none(), "tenant {tenant} admitted twice");
+    }
+
+    pub fn entry(&self, tenant: u64) -> Option<DirEntry> {
+        self.entries.get(&tenant).copied()
+    }
+
+    pub fn epoch(&self, tenant: u64) -> Option<u64> {
+        self.entries.get(&tenant).map(|e| e.epoch)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Mark a migration in flight. The epoch does *not* change yet —
+    /// the in-flight blob must verify against the capture-time epoch.
+    pub fn begin_migration(&mut self, tenant: u64, from: usize, to: usize) {
+        let e = self.entries.get_mut(&tenant).expect("tenant admitted");
+        assert_eq!(
+            e.residence,
+            Residence::Live { node: from },
+            "tenant {tenant} is not live at node {from}"
+        );
+        e.residence = Residence::Migrating { from, to };
+    }
+
+    /// Commit a migration: the tenant is now live at `to` and every
+    /// blob captured before this instant is permanently stale.
+    pub fn commit_migration(&mut self, tenant: u64, to: usize) {
+        let e = self.entries.get_mut(&tenant).expect("tenant admitted");
+        assert!(
+            matches!(e.residence, Residence::Migrating { .. }),
+            "tenant {tenant} has no migration in flight"
+        );
+        e.epoch += 1;
+        e.residence = Residence::Live { node: to };
+    }
+
+    /// Retire a completed tenant.
+    pub fn finish(&mut self, tenant: u64) {
+        let e = self.entries.get_mut(&tenant).expect("tenant admitted");
+        e.residence = Residence::Done;
+    }
+
+    /// The destination-side acceptance check: the blob must name an
+    /// admitted tenant, carry exactly the current epoch, and match an
+    /// in-flight migration targeting `node`.
+    ///
+    /// # Errors
+    /// [`MigrateError::EpochStale`] for a superseded blob (the
+    /// anti-rollback rejection), [`MigrateError::EpochFromFuture`] if
+    /// the directory itself lost history, [`MigrateError::UnknownTenant`]
+    /// / [`MigrateError::NotInMigration`] for blobs that match no
+    /// protocol state.
+    pub fn verify_blob(&self, header: &BlobHeader, node: usize) -> Result<(), MigrateError> {
+        let tenant = header.tenant;
+        let Some(e) = self.entries.get(&tenant) else {
+            return Err(MigrateError::UnknownTenant { tenant });
+        };
+        if header.epoch < e.epoch {
+            return Err(MigrateError::EpochStale {
+                tenant,
+                blob_epoch: header.epoch,
+                current_epoch: e.epoch,
+            });
+        }
+        if header.epoch > e.epoch {
+            return Err(MigrateError::EpochFromFuture {
+                tenant,
+                blob_epoch: header.epoch,
+                current_epoch: e.epoch,
+            });
+        }
+        match e.residence {
+            Residence::Migrating { to, .. } if to == node => Ok(()),
+            _ => Err(MigrateError::NotInMigration { tenant, node }),
+        }
+    }
+
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.section("CDIR", 1);
+        w.seq(self.entries.iter(), |w, (&tenant, e)| {
+            w.u64(tenant);
+            w.u64(e.epoch);
+            match e.residence {
+                Residence::Live { node } => {
+                    w.u8(0);
+                    w.usize(node);
+                }
+                Residence::Migrating { from, to } => {
+                    w.u8(1);
+                    w.usize(from);
+                    w.usize(to);
+                }
+                Residence::Done => w.u8(2),
+            }
+        });
+    }
+
+    pub fn load_state(r: &mut SnapReader) -> Result<Self, SnapError> {
+        r.section("CDIR", 1)?;
+        let n = r.seq_len("directory entries")?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let tenant = r.u64("directory tenant")?;
+            let epoch = r.u64("directory epoch")?;
+            let residence = match r.u8("residence tag")? {
+                0 => Residence::Live {
+                    node: r.usize("residence node")?,
+                },
+                1 => Residence::Migrating {
+                    from: r.usize("residence from")?,
+                    to: r.usize("residence to")?,
+                },
+                2 => Residence::Done,
+                _ => {
+                    return Err(SnapError::Corrupt {
+                        what: "residence tag",
+                        at: r.pos(),
+                    })
+                }
+            };
+            entries.insert(tenant, DirEntry { epoch, residence });
+        }
+        Ok(Directory { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(tenant: u64, epoch: u64) -> BlobHeader {
+        BlobHeader {
+            tenant,
+            epoch,
+            fingerprint: 0,
+        }
+    }
+
+    #[test]
+    fn epoch_gates_blob_acceptance() {
+        let mut d = Directory::new();
+        d.admit(7, 0);
+        d.begin_migration(7, 0, 1);
+        // The in-flight blob (epoch 1, to node 1) passes.
+        d.verify_blob(&header(7, 1), 1).unwrap();
+        // Wrong destination fails typed.
+        assert!(matches!(
+            d.verify_blob(&header(7, 1), 2),
+            Err(MigrateError::NotInMigration { tenant: 7, node: 2 })
+        ));
+        d.commit_migration(7, 1);
+        assert_eq!(d.epoch(7), Some(2));
+        // The same blob replayed after the commit is stale.
+        assert!(matches!(
+            d.verify_blob(&header(7, 1), 2),
+            Err(MigrateError::EpochStale {
+                tenant: 7,
+                blob_epoch: 1,
+                current_epoch: 2,
+            })
+        ));
+        // A from-the-future epoch means the directory lost history.
+        assert!(matches!(
+            d.verify_blob(&header(7, 9), 1),
+            Err(MigrateError::EpochFromFuture { .. })
+        ));
+        assert!(matches!(
+            d.verify_blob(&header(8, 1), 0),
+            Err(MigrateError::UnknownTenant { tenant: 8 })
+        ));
+    }
+
+    #[test]
+    fn directory_round_trips() {
+        let mut d = Directory::new();
+        d.admit(0, 0);
+        d.admit(1, 2);
+        d.begin_migration(1, 2, 3);
+        d.admit(2, 1);
+        d.finish(2);
+        let mut w = SnapWriter::new();
+        d.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = Directory::load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, d);
+    }
+}

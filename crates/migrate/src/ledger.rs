@@ -1,0 +1,272 @@
+//! Per-tenant functional ledgers and the final deterministic artifact.
+//!
+//! A [`TenantLedger`] travels with the tenant: it rides in the
+//! migration blob and in cluster crash snapshots, so the tenant's
+//! op-stream position, fault-injection RNG, and lifecycle counts
+//! survive both a node hop and a SIGKILL. Everything in it is
+//! *placement-independent*: nothing depends on which node (or which
+//! physical frames) hosted the tenant, which is what makes the
+//! cluster's per-tenant output byte-identical to a single-node
+//! reference run.
+
+use std::collections::BTreeSet;
+
+use itesp_core::mac::siphash24_words;
+use itesp_core::MacKey;
+use itesp_snap::{SnapError, SnapReader, SnapWriter};
+
+/// xorshift64: the tenant fault stream's step function. Never maps a
+/// nonzero state to zero.
+pub fn xorshift64(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// Seed the per-tenant fault RNG from the cluster seed and the tenant
+/// id (splitmix64 finalizer, forced odd so xorshift never sees zero).
+pub fn fault_rng_seed(seed: u64, tenant: u64) -> u64 {
+    let mut z = seed ^ tenant.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) | 1
+}
+
+/// Keyed digest of a tenant's (vpage, leaf, counter) triples — the
+/// physical frame is deliberately excluded (it is node-local). Keyed
+/// with the tenant's derived MAC key, so a matching checksum proves
+/// both that the counters survived every hop *and* that the
+/// destination re-derived the identical key from its master.
+pub fn counter_checksum(key: &MacKey, triples: impl Iterator<Item = (u64, u64, u64)>) -> u64 {
+    let mut words = Vec::new();
+    for (vpage, leaf, counter) in triples {
+        words.push(vpage);
+        words.push(leaf);
+        words.push(counter);
+    }
+    siphash24_words(key, &words)
+}
+
+/// A tenant's functional history, accumulated one op per cluster tick.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantLedger {
+    /// Ops executed (reads + writes).
+    pub ops: u64,
+    pub reads: u64,
+    pub writes: u64,
+    /// First-touches (page faults that granted a leaf).
+    pub pages_touched: u64,
+    /// Pages returned early by the script's free events.
+    pub pages_freed: u64,
+    /// Tree doublings this tenant forced.
+    pub grow_events: u64,
+    /// Metadata transactions those doublings charged.
+    pub grow_meta: u64,
+    /// Metadata transactions the leaf resets (frees) charged.
+    pub free_meta: u64,
+    /// First-touches that reused a leaf this tenant freed earlier.
+    pub leaves_recycled: u64,
+    /// Chip faults the per-tenant RAS stream injected.
+    pub faults_injected: u64,
+    /// Injected faults whose block had a live parity group.
+    pub fault_parity_hits: u64,
+    /// Fault-stream RNG state (travels so a migrated or recovered
+    /// tenant continues the identical stream).
+    pub rng: u64,
+    /// Next op index in the tenant's script.
+    pub next_record: u64,
+    /// Free events already executed.
+    pub frees_done: u64,
+    /// Leaves this tenant freed and has not yet re-acquired (detects
+    /// recycling without asking the allocator).
+    pub freed_leaves: BTreeSet<u64>,
+}
+
+impl TenantLedger {
+    pub fn new(cluster_seed: u64, tenant: u64) -> Self {
+        TenantLedger {
+            rng: fault_rng_seed(cluster_seed, tenant),
+            ..TenantLedger::default()
+        }
+    }
+
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.section("TLGR", 1);
+        for v in [
+            self.ops,
+            self.reads,
+            self.writes,
+            self.pages_touched,
+            self.pages_freed,
+            self.grow_events,
+            self.grow_meta,
+            self.free_meta,
+            self.leaves_recycled,
+            self.faults_injected,
+            self.fault_parity_hits,
+            self.rng,
+            self.next_record,
+            self.frees_done,
+        ] {
+            w.u64(v);
+        }
+        w.seq(self.freed_leaves.iter(), |w, &leaf| w.u64(leaf));
+    }
+
+    pub fn load_state(r: &mut SnapReader) -> Result<Self, SnapError> {
+        r.section("TLGR", 1)?;
+        let mut l = TenantLedger::default();
+        for v in [
+            &mut l.ops,
+            &mut l.reads,
+            &mut l.writes,
+            &mut l.pages_touched,
+            &mut l.pages_freed,
+            &mut l.grow_events,
+            &mut l.grow_meta,
+            &mut l.free_meta,
+            &mut l.leaves_recycled,
+            &mut l.faults_injected,
+            &mut l.fault_parity_hits,
+            &mut l.rng,
+            &mut l.next_record,
+            &mut l.frees_done,
+        ] {
+            *v = r.u64("ledger counter")?;
+        }
+        let n = r.seq_len("ledger freed leaves")?;
+        for _ in 0..n {
+            l.freed_leaves.insert(r.u64("freed leaf")?);
+        }
+        Ok(l)
+    }
+}
+
+/// What a tenant leaves behind when its script completes: the ledger
+/// scalars plus exit-time tree state. This is the unit of the drill's
+/// byte-identity artifact — every field must be placement- and
+/// timing-independent (no engine cache stats, no migration counts, no
+/// physical addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct TenantFinal {
+    pub ops: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub pages_touched: u64,
+    pub pages_freed: u64,
+    pub grow_events: u64,
+    pub grow_meta: u64,
+    pub free_meta: u64,
+    pub leaves_recycled: u64,
+    pub faults_injected: u64,
+    pub fault_parity_hits: u64,
+    /// Pages the tree could address at exit.
+    pub tree_pages: u64,
+    /// Highest leaf-id ever granted, plus one.
+    pub leaf_high_water: u64,
+    /// Pages still mapped when the script ran out.
+    pub live_pages_at_exit: u64,
+    /// Keyed digest of (vpage, leaf, counter) at exit — see
+    /// [`counter_checksum`].
+    pub counter_checksum: u64,
+}
+
+impl TenantFinal {
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.section("TFIN", 1);
+        for v in [
+            self.ops,
+            self.reads,
+            self.writes,
+            self.pages_touched,
+            self.pages_freed,
+            self.grow_events,
+            self.grow_meta,
+            self.free_meta,
+            self.leaves_recycled,
+            self.faults_injected,
+            self.fault_parity_hits,
+            self.tree_pages,
+            self.leaf_high_water,
+            self.live_pages_at_exit,
+            self.counter_checksum,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    pub fn load_state(r: &mut SnapReader) -> Result<Self, SnapError> {
+        r.section("TFIN", 1)?;
+        let mut f = [0u64; 15];
+        for v in &mut f {
+            *v = r.u64("tenant final field")?;
+        }
+        Ok(TenantFinal {
+            ops: f[0],
+            reads: f[1],
+            writes: f[2],
+            pages_touched: f[3],
+            pages_freed: f[4],
+            grow_events: f[5],
+            grow_meta: f[6],
+            free_meta: f[7],
+            leaves_recycled: f[8],
+            faults_injected: f[9],
+            fault_parity_hits: f[10],
+            tree_pages: f[11],
+            leaf_high_water: f[12],
+            live_pages_at_exit: f[13],
+            counter_checksum: f[14],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_round_trips_through_the_codec() {
+        let mut l = TenantLedger::new(42, 7);
+        l.ops = 100;
+        l.writes = 40;
+        l.reads = 60;
+        l.pages_touched = 12;
+        l.next_record = 100;
+        l.freed_leaves.extend([3, 9, 11]);
+        let mut w = SnapWriter::new();
+        l.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = TenantLedger::load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn fault_seed_is_nonzero_and_tenant_dependent() {
+        let a = fault_rng_seed(1, 0);
+        let b = fault_rng_seed(1, 1);
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        // xorshift never collapses the stream.
+        let mut x = a;
+        for _ in 0..1000 {
+            x = xorshift64(x);
+            assert_ne!(x, 0);
+        }
+    }
+
+    #[test]
+    fn checksum_ignores_nothing_it_covers() {
+        let key = MacKey { k0: 1, k1: 2 };
+        let base = vec![(0u64, 0u64, 5u64), (1, 1, 7)];
+        let a = counter_checksum(&key, base.clone().into_iter());
+        let mut bumped = base.clone();
+        bumped[1].2 = 8;
+        assert_ne!(a, counter_checksum(&key, bumped.into_iter()));
+        let other_key = MacKey { k0: 1, k1: 3 };
+        assert_ne!(a, counter_checksum(&other_key, base.into_iter()));
+    }
+}

@@ -7,8 +7,9 @@
 //! * **traffic** — `ITSV` framed requests, one request per connection.
 //! * **metrics** — single-byte commands: `T` returns the deterministic
 //!   per-tenant stats JSON (the byte-identity artifact), `A` the full
-//!   view including operational counters, `D` triggers a drain, `P`
-//!   answers `ok` (liveness).
+//!   view including operational counters, `S` the per-shard queue-depth
+//!   and in-flight gauges, `D` triggers a drain, `P` answers `ok`
+//!   (liveness).
 //!
 //! ## Drain
 //!
@@ -291,11 +292,12 @@ impl Server {
 
     fn spawn_metrics(&self, stream: TcpStream) {
         let registry = Arc::clone(&self.registry);
+        let pool = Arc::clone(&self.pool);
         let draining = Arc::clone(&self.draining);
         let _ = thread::Builder::new()
             .name("itesp-serve-metrics".into())
             .spawn(move || {
-                let _ = handle_metrics(stream, &registry, &draining);
+                let _ = handle_metrics(stream, &registry, &pool, &draining);
             });
     }
 }
@@ -304,6 +306,7 @@ impl Server {
 fn handle_metrics(
     mut stream: TcpStream,
     registry: &Registry,
+    pool: &ShardPool,
     draining: &AtomicBool,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
@@ -312,12 +315,17 @@ fn handle_metrics(
     let body = match cmd[0] {
         b'T' => registry.deterministic_json(),
         b'A' => registry.full_json(),
+        b'S' => {
+            let mut json = serde_json::to_string_pretty(&pool.gauges()).expect("gauges serialize");
+            json.push('\n');
+            json
+        }
         b'D' => {
             draining.store(true, Ordering::SeqCst);
             "draining\n".to_owned()
         }
         b'P' => "ok\n".to_owned(),
-        other => format!("unknown command {other:#04x} (want T|A|D|P)\n"),
+        other => format!("unknown command {other:#04x} (want T|A|S|D|P)\n"),
     };
     stream.write_all(body.as_bytes())?;
     stream.flush()

@@ -122,6 +122,34 @@ impl ShardPool {
             .map(|s| s.pending.load(Ordering::Acquire))
             .sum()
     }
+
+    /// Point-in-time load gauges, one per shard. `in_flight` is the
+    /// shard's reservation count (admitted, queued, or running) and
+    /// `queue_depth` its admission bound, so `in_flight == queue_depth`
+    /// is the shard answering `Busy`. Operational telemetry for the
+    /// metrics port — deliberately *not* part of the deterministic `T`
+    /// report, since a gauge depends on when you look.
+    pub fn gauges(&self) -> Vec<ShardGauge> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardGauge {
+                shard,
+                in_flight: s.pending.load(Ordering::Acquire),
+                queue_depth: self.capacity,
+            })
+            .collect()
+    }
+}
+
+/// One shard's load at a point in time (see [`ShardPool::gauges`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct ShardGauge {
+    pub shard: usize,
+    /// Reservations outstanding: admitted, queued, or running.
+    pub in_flight: usize,
+    /// Admission bound (reservations at which the shard goes `Busy`).
+    pub queue_depth: usize,
 }
 
 /// A won admission reservation, tied to one shard.
@@ -243,6 +271,35 @@ mod tests {
         // Dropping an unarmed token releases the slot.
         drop(t1);
         assert!(pool.try_admit(1).is_ok());
+    }
+
+    #[test]
+    fn gauges_track_reservations_per_shard() {
+        let registry = Arc::new(Registry::new());
+        let pool = ShardPool::spawn(2, 3, JobPolicy::serial(), registry, None, 0);
+        assert_eq!(
+            pool.gauges(),
+            vec![
+                ShardGauge {
+                    shard: 0,
+                    in_flight: 0,
+                    queue_depth: 3
+                },
+                ShardGauge {
+                    shard: 1,
+                    in_flight: 0,
+                    queue_depth: 3
+                },
+            ]
+        );
+        // Tenant 1 hashes to shard 1; its reservations show up there.
+        let t1 = pool.try_admit(1).unwrap();
+        let _t2 = pool.try_admit(1).unwrap();
+        let g = pool.gauges();
+        assert_eq!(g[0].in_flight, 0);
+        assert_eq!(g[1].in_flight, 2);
+        drop(t1);
+        assert_eq!(pool.gauges()[1].in_flight, 1);
     }
 
     #[test]

@@ -55,6 +55,11 @@ fn full_queue_yields_busy_and_frees_on_completion() {
     let admitted = read_frame(&mut holder).unwrap().expect("reply");
     assert_eq!(admitted.kind, FrameKind::Admitted);
 
+    // The shard gauges see the held reservation: one shard, full.
+    let gauges = itesp_serve::server::metrics_command(daemon.metrics, b'S').expect("metrics S");
+    assert!(gauges.contains("\"in_flight\": 1"), "got {gauges}");
+    assert!(gauges.contains("\"queue_depth\": 1"), "got {gauges}");
+
     // Second tenant: the queue is full, so the daemon must say Busy
     // immediately rather than queueing the socket.
     let err = run_once(addr, &hello(2, "ITESP"), &records(2, 64)).unwrap_err();

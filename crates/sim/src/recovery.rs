@@ -114,11 +114,26 @@ impl SnapshotSink {
     /// # Errors
     /// Propagates store I/O failures.
     pub fn capture(&mut self, sys: &System) -> Result<SnapshotMeta, StoreError> {
+        self.capture_with(sys.cycle(), |w| sys.save_state(w))
+    }
+
+    /// Commit a snapshot whose payload `write` serializes — the same
+    /// cadence, prune, and WAL discipline as [`Self::capture`], for
+    /// state machines other than a [`System`] (the migrate cluster
+    /// checkpoints through this).
+    ///
+    /// # Errors
+    /// Propagates store I/O failures.
+    pub fn capture_with(
+        &mut self,
+        cycle: u64,
+        write: impl FnOnce(&mut SnapWriter),
+    ) -> Result<SnapshotMeta, StoreError> {
         let mut w = SnapWriter::new();
-        sys.save_state(&mut w);
-        let meta = self.store.append(sys.cycle(), &w.into_bytes())?;
+        write(&mut w);
+        let meta = self.store.append(cycle, &w.into_bytes())?;
         self.store.prune(KEEP_SNAPSHOTS)?;
-        self.next_due = sys.cycle().saturating_add(self.every);
+        self.next_due = cycle.saturating_add(self.every);
         Ok(meta)
     }
 

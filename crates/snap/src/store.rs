@@ -33,7 +33,7 @@
 
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::crc::crc32;
@@ -225,9 +225,7 @@ impl SnapshotStore {
         let mut off = 0;
         while off + WAL_RECORD <= bytes.len() {
             let rec = &bytes[off..off + WAL_RECORD];
-            let crc_ok = crc32(&rec[..WAL_RECORD - 4])
-                == u32::from_le_bytes(rec[WAL_RECORD - 4..].try_into().unwrap());
-            if &rec[..4] != WAL_MAGIC || !crc_ok {
+            let Some(parsed) = parse_wal_record(rec) else {
                 // Valid only as a torn tail; mid-log corruption loses
                 // acknowledged history and must surface.
                 if off + WAL_RECORD == bytes.len()
@@ -239,11 +237,8 @@ impl SnapshotStore {
                     path,
                     detail: format!("WAL record at offset {off} corrupt before the tail"),
                 });
-            }
-            records.push(WalRecord {
-                seq: u64::from_le_bytes(rec[4..12].try_into().unwrap()),
-                cycle: u64::from_le_bytes(rec[12..20].try_into().unwrap()),
-            });
+            };
+            records.push(parsed);
             off += WAL_RECORD;
         }
         Ok(records)
@@ -252,6 +247,38 @@ impl SnapshotStore {
     /// The freshest acknowledged snapshot, or `None` for an empty store.
     pub fn wal_head(&self) -> Result<Option<WalRecord>, StoreError> {
         Ok(self.wal_records()?.into_iter().last())
+    }
+
+    /// The WAL head's sequence number without reading the whole log or
+    /// loading any snapshot payload — the cheap freshness witness the
+    /// migration epoch check polls on every commit.
+    ///
+    /// Fast path: seek to the last complete 24-byte record and validate
+    /// it in place; a valid tail record is the head by construction,
+    /// even when a crashed append left partial bytes after it. Anything
+    /// irregular falls back to the full [`wal_records`] scan so
+    /// torn-tail tolerance and `Torn` reporting stay byte-for-byte
+    /// consistent with the slow path.
+    ///
+    /// [`wal_records`]: SnapshotStore::wal_records
+    pub fn latest_seq(&self) -> Result<Option<u64>, StoreError> {
+        let mut f = match File::open(self.wal_path()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let len = f.metadata()?.len() as usize;
+        let whole = len / WAL_RECORD;
+        if whole == 0 {
+            return Ok(None);
+        }
+        let mut rec = [0u8; WAL_RECORD];
+        f.seek(SeekFrom::Start(((whole - 1) * WAL_RECORD) as u64))?;
+        f.read_exact(&mut rec)?;
+        if let Some(parsed) = parse_wal_record(&rec) {
+            return Ok(Some(parsed.seq));
+        }
+        Ok(self.wal_records()?.last().map(|r| r.seq))
     }
 
     /// Load and validate snapshot `seq`, returning its payload.
@@ -398,6 +425,20 @@ impl SnapshotStore {
         sync_dir(&self.dir)?;
         Ok(())
     }
+}
+
+/// Validate one 24-byte WAL record (magic + CRC) and decode it.
+fn parse_wal_record(rec: &[u8]) -> Option<WalRecord> {
+    debug_assert_eq!(rec.len(), WAL_RECORD);
+    let crc_ok = crc32(&rec[..WAL_RECORD - 4])
+        == u32::from_le_bytes(rec[WAL_RECORD - 4..].try_into().unwrap());
+    if &rec[..4] != WAL_MAGIC || !crc_ok {
+        return None;
+    }
+    Some(WalRecord {
+        seq: u64::from_le_bytes(rec[4..12].try_into().unwrap()),
+        cycle: u64::from_le_bytes(rec[12..20].try_into().unwrap()),
+    })
 }
 
 /// fsync a directory so a rename inside it is durable. On platforms
@@ -624,6 +665,50 @@ mod tests {
         let m = store.append(50, b"v5").unwrap();
         assert_eq!(m.seq, 5);
         assert_eq!(store.wal_records().unwrap().len(), 3);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn latest_seq_tracks_the_head_cheaply() {
+        let store = temp_store("latest");
+        assert_eq!(store.latest_seq().unwrap(), None);
+        store.append(10, b"v1").unwrap();
+        assert_eq!(store.latest_seq().unwrap(), Some(1));
+        store.append(20, b"v2").unwrap();
+        store.append(30, b"v3").unwrap();
+        assert_eq!(store.latest_seq().unwrap(), Some(3));
+        // Pruning compacts the WAL but never loses the head.
+        store.prune(1).unwrap();
+        assert_eq!(store.latest_seq().unwrap(), Some(3));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn latest_seq_tolerates_a_torn_tail() {
+        let store = temp_store("latesttorn");
+        store.append(10, b"v1").unwrap();
+        store.append(20, b"v2").unwrap();
+        let wal = store.dir().join("wal.log");
+
+        // Crash mid-append: a partial record past the last full one.
+        let good = fs::read(&wal).unwrap();
+        let mut bytes = good.clone();
+        bytes.extend_from_slice(b"ITWL\x09\x00\x00\x00\x00");
+        fs::write(&wal, &bytes).unwrap();
+        assert_eq!(store.latest_seq().unwrap(), Some(2));
+
+        // Crash mid-append landing exactly on a record boundary: the
+        // final 24 bytes fail their CRC, so the fast path defers to the
+        // full scan, which tolerates the corrupt record at the tail.
+        let mut bytes = good.clone();
+        let torn = [0xAAu8; WAL_RECORD];
+        bytes.extend_from_slice(&torn);
+        fs::write(&wal, &bytes).unwrap();
+        assert_eq!(store.latest_seq().unwrap(), Some(2));
+
+        // A file shorter than one record has no acknowledged head.
+        fs::write(&wal, b"ITWL\x01").unwrap();
+        assert_eq!(store.latest_seq().unwrap(), None);
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -129,6 +129,47 @@ impl ChurnWorkload {
     pub fn total_ops(&self) -> usize {
         self.slots.iter().flatten().map(|s| s.records.len()).sum()
     }
+
+    /// Flatten the per-slot session queues into one global arrival
+    /// order. Each session's arrival time is the prefix sum of its
+    /// slot's renewal gaps; ties break by `(slot, index)`, so the
+    /// order is a pure function of the workload. A cluster scheduler
+    /// admits tenants in exactly this order and numbers them by their
+    /// position, which is what makes per-tenant identities — and the
+    /// MAC keys derived from them — placement-independent.
+    pub fn arrival_order(&self) -> Vec<FlatArrival> {
+        let mut flat = Vec::with_capacity(self.session_count());
+        for (slot, sessions) in self.slots.iter().enumerate() {
+            let mut at = 0u64;
+            for (index, s) in sessions.iter().enumerate() {
+                at = at.saturating_add(s.arrival_gap);
+                flat.push(FlatArrival {
+                    arrival: at,
+                    slot,
+                    index,
+                });
+            }
+        }
+        flat.sort_by_key(|a| (a.arrival, a.slot, a.index));
+        flat
+    }
+
+    /// The session a [`FlatArrival`] points at.
+    pub fn session(&self, a: &FlatArrival) -> &ChurnSession {
+        &self.slots[a.slot][a.index]
+    }
+}
+
+/// One entry of [`ChurnWorkload::arrival_order`]: which session
+/// arrives when, in the workload's global admission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatArrival {
+    /// Cumulative arrival time (CPU cycles from the run's start).
+    pub arrival: u64,
+    /// Slot whose queue the session came from.
+    pub slot: usize,
+    /// Position within that slot's queue.
+    pub index: usize,
 }
 
 /// Deterministic per-(slot, session) seed derivation.
@@ -266,6 +307,38 @@ mod tests {
         let w = ChurnWorkload::generate(b, &cfg());
         assert_ne!(w.slots[0][0].records, w.slots[0][1].records);
         assert_ne!(w.slots[0][0].records, w.slots[1][0].records);
+    }
+
+    #[test]
+    fn arrival_order_is_total_and_deterministic() {
+        let b = benchmark("mcf").unwrap();
+        let w = ChurnWorkload::generate(b, &cfg());
+        let order = w.arrival_order();
+        assert_eq!(order.len(), w.session_count());
+        assert!(
+            order
+                .windows(2)
+                .all(|p| (p[0].arrival, p[0].slot, p[0].index)
+                    < (p[1].arrival, p[1].slot, p[1].index))
+        );
+        // Every session appears exactly once, and later sessions of a
+        // slot never jump ahead of earlier ones (prefix-sum arrivals).
+        let mut seen = std::collections::HashSet::new();
+        for a in &order {
+            assert!(seen.insert((a.slot, a.index)));
+            assert_eq!(w.session(a).records.len(), 2000);
+        }
+        for s in 0..4 {
+            let positions: Vec<usize> = order
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.slot == s)
+                .map(|(i, _)| i)
+                .collect();
+            let indices: Vec<usize> = positions.iter().map(|&i| order[i].index).collect();
+            assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(order, w.arrival_order());
     }
 
     #[test]

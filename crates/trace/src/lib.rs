@@ -34,7 +34,7 @@ pub mod stream;
 pub mod suites;
 pub mod workload;
 
-pub use churn::{ChurnConfig, ChurnSession, ChurnWorkload, PageFree};
+pub use churn::{ChurnConfig, ChurnSession, ChurnWorkload, FlatArrival, PageFree};
 pub use error::TraceError;
 pub use multiprog::MultiProgram;
 pub use pages::{FreeListModel, PageMapper, Translation};
